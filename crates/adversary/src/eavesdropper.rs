@@ -1,0 +1,293 @@
+//! Link-level eavesdroppers: the paper's "sophisticated attackers".
+//!
+//! §I distinguishes the cheap botnet attacker (colluding *nodes*, modelled in
+//! [`crate::observer`]) from "sophisticated attackers controlling or
+//! eavesdropping on large parts of the network (e.g., intelligence
+//! agencies)". Such an attacker does not participate in the protocol at all:
+//! it taps *links* and sees who sent what to whom and when, without ever
+//! being a recipient itself.
+//!
+//! Against this attacker every topological mechanism collapses — the very
+//! first transmission of a transaction leaves the originator on an observed
+//! wire — which is exactly why the paper's protocol keeps the cryptographic
+//! Phase 1: inside the DC-net group the eavesdropper sees `k·(k−1)` identical
+//! looking, identically sized messages per round regardless of who (if
+//! anyone) is sending, so its posterior over the group never improves beyond
+//! the ℓ-anonymity floor (see [`crate::insider`]).
+//!
+//! [`LinkObserver`] models the tap: a set of undirected edges whose traffic
+//! is visible. [`first_sender`] is the corresponding estimator — blame the
+//! sender of the earliest message crossing any tapped link.
+
+use crate::estimators::Estimate;
+use crate::observer::AdversarySet;
+use fnp_netsim::{Graph, Metrics, NodeId, SimTime, TraceEntry};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// An undirected link identified by its (smaller, larger) endpoint pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkId(NodeId, NodeId);
+
+impl LinkId {
+    /// Canonical (order-independent) link identifier for an edge.
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a.index() <= b.index() {
+            Self(a, b)
+        } else {
+            Self(b, a)
+        }
+    }
+
+    /// The two endpoints in canonical order.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.0, self.1)
+    }
+}
+
+/// A passive eavesdropper tapping a subset of the overlay's links.
+#[derive(Clone, Debug, Default)]
+pub struct LinkObserver {
+    tapped: BTreeSet<LinkId>,
+}
+
+impl LinkObserver {
+    /// An observer tapping no links at all.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Taps every link of the graph — the global passive adversary, the
+    /// strongest observer the paper mentions.
+    pub fn global(graph: &Graph) -> Self {
+        let tapped = graph.edges().map(|(a, b)| LinkId::new(a, b)).collect();
+        Self { tapped }
+    }
+
+    /// Taps a uniformly random `fraction` of the graph's links.
+    pub fn random_fraction<R: Rng + ?Sized>(graph: &Graph, fraction: f64, rng: &mut R) -> Self {
+        let mut edges: Vec<LinkId> = graph.edges().map(|(a, b)| LinkId::new(a, b)).collect();
+        edges.shuffle(rng);
+        let keep = ((fraction.clamp(0.0, 1.0)) * edges.len() as f64).round() as usize;
+        Self {
+            tapped: edges.into_iter().take(keep).collect(),
+        }
+    }
+
+    /// Taps every link adjacent to the given set of compromised nodes — the
+    /// "malicious ISP of these customers" model.
+    pub fn around_nodes(graph: &Graph, nodes: &AdversarySet) -> Self {
+        let tapped = graph
+            .edges()
+            .filter(|(a, b)| nodes.contains(*a) || nodes.contains(*b))
+            .map(|(a, b)| LinkId::new(a, b))
+            .collect();
+        Self { tapped }
+    }
+
+    /// Adds a single tapped link.
+    pub fn tap(&mut self, a: NodeId, b: NodeId) {
+        self.tapped.insert(LinkId::new(a, b));
+    }
+
+    /// Number of tapped links.
+    pub fn len(&self) -> usize {
+        self.tapped.len()
+    }
+
+    /// Whether no link is tapped.
+    pub fn is_empty(&self) -> bool {
+        self.tapped.is_empty()
+    }
+
+    /// Whether the link between `a` and `b` is tapped.
+    pub fn observes(&self, a: NodeId, b: NodeId) -> bool {
+        self.tapped.contains(&LinkId::new(a, b))
+    }
+
+    /// Filters a simulation trace down to the messages crossing tapped links,
+    /// in trace order.
+    pub fn visible_traffic<'a>(&'a self, metrics: &'a Metrics) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        metrics
+            .trace
+            .iter()
+            .filter(move |entry| self.observes(entry.from, entry.to))
+    }
+
+    /// The earliest message the eavesdropper saw, if any.
+    pub fn first_visible<'a>(&'a self, metrics: &'a Metrics) -> Option<&'a TraceEntry> {
+        self.visible_traffic(metrics)
+            .min_by_key(|entry| (entry.at, entry.from, entry.to))
+    }
+}
+
+/// The eavesdropper's first-sender estimator: blame the sender of the
+/// earliest message crossing any tapped link.
+///
+/// Messages of the kinds listed in `exempt_kinds` are skipped — the flexible
+/// protocol's DC-net traffic is unlinkable to the payload by construction, so
+/// an honest evaluation must not let the estimator "win" simply by pointing
+/// at the first DC-net share it happens to see. (Every member of the group
+/// transmits in every DC round whether or not it has a payload.)
+pub fn first_sender(
+    observer: &LinkObserver,
+    metrics: &Metrics,
+    exempt_kinds: &[&str],
+) -> Estimate {
+    let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let first = observer
+        .visible_traffic(metrics)
+        .filter(|entry| !exempt_kinds.contains(&entry.kind))
+        .min_by_key(|entry| (entry.at, entry.from, entry.to));
+    if let Some(entry) = first {
+        scores.insert(entry.from, 1.0);
+    }
+    Estimate::from_scores(scores)
+}
+
+/// Per-node traffic volume visible to the eavesdropper within a time window,
+/// used by the traffic-analysis discussion of §III-B (cover traffic leaks
+/// usage changes): bytes sent per node over tapped links in `[from, to)`.
+pub fn traffic_volume(
+    observer: &LinkObserver,
+    metrics: &Metrics,
+    from: SimTime,
+    to: SimTime,
+) -> BTreeMap<NodeId, u64> {
+    let mut volume = BTreeMap::new();
+    for entry in observer.visible_traffic(metrics) {
+        if entry.at >= from && entry.at < to {
+            *volume.entry(entry.from).or_insert(0) += entry.bytes as u64;
+        }
+    }
+    volume
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_graph(n: usize) -> Graph {
+        fnp_netsim::topology::line(n).unwrap()
+    }
+
+    fn trace(entries: &[(u64, usize, usize, &'static str, usize)]) -> Metrics {
+        let mut metrics = Metrics::new(16);
+        metrics.trace = entries
+            .iter()
+            .map(|&(at, from, to, kind, bytes)| TraceEntry {
+                at,
+                from: NodeId::new(from),
+                to: NodeId::new(to),
+                kind,
+                bytes,
+            })
+            .collect();
+        metrics
+    }
+
+    #[test]
+    fn link_ids_are_order_independent() {
+        let a = LinkId::new(NodeId::new(3), NodeId::new(7));
+        let b = LinkId::new(NodeId::new(7), NodeId::new(3));
+        assert_eq!(a, b);
+        assert_eq!(a.endpoints(), (NodeId::new(3), NodeId::new(7)));
+    }
+
+    #[test]
+    fn global_observer_taps_every_edge() {
+        let graph = line_graph(5);
+        let observer = LinkObserver::global(&graph);
+        assert_eq!(observer.len(), graph.edge_count());
+        assert!(observer.observes(NodeId::new(0), NodeId::new(1)));
+        assert!(!observer.observes(NodeId::new(0), NodeId::new(4)));
+    }
+
+    #[test]
+    fn random_fraction_taps_the_requested_share() {
+        let graph = line_graph(101); // 100 edges
+        let mut rng = StdRng::seed_from_u64(1);
+        let observer = LinkObserver::random_fraction(&graph, 0.3, &mut rng);
+        assert_eq!(observer.len(), 30);
+        assert!(LinkObserver::random_fraction(&graph, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn around_nodes_taps_adjacent_links_only() {
+        let graph = line_graph(5);
+        let set = AdversarySet::from_nodes(5, [NodeId::new(2)]);
+        let observer = LinkObserver::around_nodes(&graph, &set);
+        assert_eq!(observer.len(), 2);
+        assert!(observer.observes(NodeId::new(1), NodeId::new(2)));
+        assert!(observer.observes(NodeId::new(2), NodeId::new(3)));
+        assert!(!observer.observes(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn first_sender_blames_the_earliest_visible_sender() {
+        let graph = line_graph(6);
+        let observer = LinkObserver::global(&graph);
+        let metrics = trace(&[
+            (5, 2, 3, "flood", 100),
+            (9, 3, 4, "flood", 100),
+            (12, 4, 5, "flood", 100),
+        ]);
+        let estimate = first_sender(&observer, &metrics, &[]);
+        assert_eq!(estimate.best_guess, Some(NodeId::new(2)));
+        assert_eq!(estimate.probability_of(NodeId::new(2)), 1.0);
+    }
+
+    #[test]
+    fn exempt_kinds_are_ignored() {
+        let graph = line_graph(6);
+        let observer = LinkObserver::global(&graph);
+        let metrics = trace(&[
+            (1, 0, 1, "dc-share", 64),
+            (2, 1, 0, "dc-share", 64),
+            (8, 3, 4, "flood", 100),
+        ]);
+        let estimate = first_sender(&observer, &metrics, &["dc-share"]);
+        assert_eq!(estimate.best_guess, Some(NodeId::new(3)));
+        let naive = first_sender(&observer, &metrics, &[]);
+        assert_eq!(naive.best_guess, Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn untapped_links_hide_traffic() {
+        let mut observer = LinkObserver::new();
+        observer.tap(NodeId::new(2), NodeId::new(3));
+        let metrics = trace(&[(1, 0, 1, "flood", 100), (5, 2, 3, "flood", 100)]);
+        assert_eq!(observer.visible_traffic(&metrics).count(), 1);
+        let estimate = first_sender(&observer, &metrics, &[]);
+        assert_eq!(estimate.best_guess, Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn empty_observation_yields_an_empty_estimate() {
+        let metrics = trace(&[]);
+        let observer = LinkObserver::new();
+        let estimate = first_sender(&observer, &metrics, &[]);
+        assert_eq!(estimate.best_guess, None);
+        assert!(observer.first_visible(&metrics).is_none());
+    }
+
+    #[test]
+    fn traffic_volume_counts_bytes_per_sender_within_the_window() {
+        let graph = line_graph(4);
+        let observer = LinkObserver::global(&graph);
+        let metrics = trace(&[
+            (1, 0, 1, "flood", 100),
+            (2, 0, 1, "flood", 50),
+            (10, 1, 2, "flood", 70),
+            (30, 2, 3, "flood", 70),
+        ]);
+        let volume = traffic_volume(&observer, &metrics, 0, 20);
+        assert_eq!(volume[&NodeId::new(0)], 150);
+        assert_eq!(volume[&NodeId::new(1)], 70);
+        assert_eq!(volume.get(&NodeId::new(2)), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! The DC-net insider: colluding members inside the Phase-1 group.
+//!
+//! §V-B states the protocol's privacy floor: "After Phase 1, if a group has
+//! ℓ ≤ k honest members, the protocol provides sender ℓ-anonymity". The
+//! adversary considered there is not an outside observer but a coalition of
+//! group members that pools everything it saw during the DC-net rounds. The
+//! information-theoretic property of the dining-cryptographers construction
+//! is that such a coalition learns *nothing* about which of the remaining
+//! honest members transmitted — its posterior over them stays uniform — so
+//! the best it can do is guess uniformly among the ℓ honest members.
+//!
+//! This module turns that argument into testable code: [`insider_posterior`]
+//! produces the coalition's posterior (uniform over honest members, zero on
+//! colluders — they know they did not send), and
+//! [`phase1_detection_probability`] is the resulting probability of naming
+//! the true originator, `1/ℓ`. The E7 experiment checks that the *empirical*
+//! detection probability measured against the real DC-net implementation in
+//! `fnp-dcnet` never exceeds this analytic bound (up to sampling noise).
+
+use crate::estimators::Estimate;
+use fnp_netsim::NodeId;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// The posterior of a coalition of `colluders` inside a Phase-1 group over
+/// the originator of a message that the group emitted.
+///
+/// Colluding members are excluded (each knows it did not send); all honest
+/// members are equally likely. If every member colludes the estimate is
+/// empty — with no honest member left there is nobody to protect and the
+/// paper's guarantee is vacuous.
+pub fn insider_posterior(group: &[NodeId], colluders: &[NodeId]) -> Estimate {
+    let colluding: BTreeSet<NodeId> = colluders.iter().copied().collect();
+    let honest: Vec<NodeId> = group
+        .iter()
+        .copied()
+        .filter(|member| !colluding.contains(member))
+        .collect();
+    let mut scores = BTreeMap::new();
+    for member in honest {
+        scores.insert(member, 1.0);
+    }
+    Estimate::from_scores(scores)
+}
+
+/// Number of honest members ℓ of a group given the coalition inside it.
+pub fn honest_member_count(group: &[NodeId], colluders: &[NodeId]) -> usize {
+    let colluding: BTreeSet<NodeId> = colluders.iter().copied().collect();
+    group
+        .iter()
+        .filter(|member| !colluding.contains(member))
+        .count()
+}
+
+/// The analytic Phase-1 detection probability `1/ℓ` from §V-B.
+///
+/// Returns 1.0 when no honest member remains (the degenerate case where the
+/// "coalition" trivially knows the sender because it *is* the rest of the
+/// group).
+pub fn phase1_detection_probability(group: &[NodeId], colluders: &[NodeId]) -> f64 {
+    let honest = honest_member_count(group, colluders);
+    if honest == 0 {
+        return 1.0;
+    }
+    1.0 / honest as f64
+}
+
+/// Anonymity degradation table for a group of size `k` as the number of
+/// insider colluders grows from 0 to `k`: entry `c` is the detection
+/// probability with `c` colluders, `1/(k−c)`.
+///
+/// This is the data behind the paper's choice of "k typically between four
+/// and ten": the floor degrades gracefully, one member at a time, rather
+/// than collapsing.
+pub fn degradation_table(k: usize) -> Vec<f64> {
+    (0..=k)
+        .map(|colluders| {
+            let honest = k - colluders;
+            if honest == 0 {
+                1.0
+            } else {
+                1.0 / honest as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn group(ids: &[usize]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn posterior_is_uniform_over_honest_members() {
+        let members = group(&[1, 2, 3, 4, 5]);
+        let colluders = group(&[2, 5]);
+        let estimate = insider_posterior(&members, &colluders);
+        assert_eq!(estimate.posterior.len(), 3);
+        for honest in group(&[1, 3, 4]) {
+            assert!((estimate.probability_of(honest) - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert_eq!(estimate.probability_of(NodeId::new(2)), 0.0);
+        assert_eq!(estimate.anonymity_set_size(), 3);
+    }
+
+    #[test]
+    fn no_colluders_means_k_anonymity() {
+        let members = group(&[0, 1, 2, 3]);
+        let estimate = insider_posterior(&members, &[]);
+        assert_eq!(estimate.anonymity_set_size(), 4);
+        assert!((phase1_detection_probability(&members, &[]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_colluders_is_the_vacuous_case() {
+        let members = group(&[0, 1]);
+        let estimate = insider_posterior(&members, &members);
+        assert_eq!(estimate.best_guess, None);
+        assert_eq!(phase1_detection_probability(&members, &members), 1.0);
+        assert_eq!(honest_member_count(&members, &members), 0);
+    }
+
+    #[test]
+    fn degradation_table_matches_the_analytic_floor() {
+        let table = degradation_table(5);
+        assert_eq!(table.len(), 6);
+        assert!((table[0] - 0.2).abs() < 1e-12);
+        assert!((table[1] - 0.25).abs() < 1e-12);
+        assert!((table[4] - 1.0).abs() < 1e-12);
+        assert_eq!(table[5], 1.0);
+        // Monotonically non-decreasing.
+        assert!(table.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    proptest! {
+        #[test]
+        fn detection_probability_is_one_over_honest_count(
+            k in 2usize..16,
+            colluder_count in 0usize..16
+        ) {
+            let members: Vec<NodeId> = (0..k).map(NodeId::new).collect();
+            let colluders: Vec<NodeId> = (0..colluder_count.min(k)).map(NodeId::new).collect();
+            let honest = k - colluders.len();
+            let p = phase1_detection_probability(&members, &colluders);
+            if honest == 0 {
+                prop_assert_eq!(p, 1.0);
+            } else {
+                prop_assert!((p - 1.0 / honest as f64).abs() < 1e-12);
+                let estimate = insider_posterior(&members, &colluders);
+                prop_assert_eq!(estimate.anonymity_set_size(), honest);
+                // The posterior never singles anyone out more than the bound.
+                for (_, probability) in &estimate.posterior {
+                    prop_assert!(*probability <= p + 1e-12);
+                }
+            }
+        }
+    }
+}

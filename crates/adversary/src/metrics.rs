@@ -1,0 +1,229 @@
+//! Privacy metrics aggregated over many attacked broadcasts.
+//!
+//! A single broadcast either is or is not deanonymised; the quantities the
+//! paper argues about — probability of detection, expected anonymity-set
+//! size, how these change with the adversary fraction φ — are averages over
+//! many repetitions. [`PrivacyExperiment`] accumulates per-run results and
+//! produces the aggregate rows that the experiment binaries print.
+
+use crate::estimators::Estimate;
+use fnp_netsim::NodeId;
+use std::fmt;
+
+/// The outcome of attacking one broadcast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttackOutcome {
+    /// The true originator of the broadcast.
+    pub origin: NodeId,
+    /// The adversary's estimate.
+    pub estimate: Estimate,
+}
+
+impl AttackOutcome {
+    /// True if the adversary's single best guess was correct.
+    pub fn detected(&self) -> bool {
+        self.estimate.convicts(self.origin)
+    }
+
+    /// Probability mass the adversary assigned to the true originator.
+    pub fn probability_on_origin(&self) -> f64 {
+        self.estimate.probability_of(self.origin)
+    }
+}
+
+/// Aggregated privacy results over many attacked broadcasts.
+#[derive(Clone, Debug, Default)]
+pub struct PrivacyExperiment {
+    outcomes: Vec<AttackOutcome>,
+}
+
+impl PrivacyExperiment {
+    /// Creates an empty aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of one attacked broadcast.
+    pub fn record(&mut self, outcome: AttackOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// Number of recorded broadcasts.
+    pub fn runs(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Fraction of broadcasts where the adversary's best guess was the true
+    /// originator — the paper's "probability to detect the true origin".
+    pub fn detection_probability(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.detected()).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Average probability mass the adversary assigned to the true
+    /// originator (a smoother measure than top-1 detection).
+    pub fn mean_probability_on_origin(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(AttackOutcome::probability_on_origin)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Average effective anonymity-set size.
+    pub fn mean_anonymity_set_size(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.estimate.anonymity_set_size() as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Average posterior entropy in bits.
+    pub fn mean_entropy_bits(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.estimate.entropy_bits())
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Produces the aggregate row for reports.
+    pub fn summary(&self) -> PrivacySummary {
+        PrivacySummary {
+            runs: self.runs(),
+            detection_probability: self.detection_probability(),
+            mean_probability_on_origin: self.mean_probability_on_origin(),
+            mean_anonymity_set_size: self.mean_anonymity_set_size(),
+            mean_entropy_bits: self.mean_entropy_bits(),
+        }
+    }
+}
+
+/// One aggregate row of a privacy experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacySummary {
+    /// Number of attacked broadcasts.
+    pub runs: usize,
+    /// Fraction of broadcasts deanonymised by the top-1 guess.
+    pub detection_probability: f64,
+    /// Mean posterior mass on the true originator.
+    pub mean_probability_on_origin: f64,
+    /// Mean effective anonymity-set size.
+    pub mean_anonymity_set_size: f64,
+    /// Mean posterior entropy (bits).
+    pub mean_entropy_bits: f64,
+}
+
+impl fmt::Display for PrivacySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P[detect]={:.3} E[p(origin)]={:.3} |anonymity set|={:.1} H={:.2} bits (n={})",
+            self.detection_probability,
+            self.mean_probability_on_origin,
+            self.mean_anonymity_set_size,
+            self.mean_entropy_bits,
+            self.runs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn point_estimate(node: usize) -> Estimate {
+        let mut scores = BTreeMap::new();
+        scores.insert(NodeId::new(node), 1.0);
+        // Re-use the normalisation path through a trivial round trip.
+        Estimate {
+            posterior: scores,
+            best_guess: Some(NodeId::new(node)),
+        }
+    }
+
+    fn uniform_estimate(nodes: &[usize]) -> Estimate {
+        let p = 1.0 / nodes.len() as f64;
+        let posterior: BTreeMap<NodeId, f64> =
+            nodes.iter().map(|&n| (NodeId::new(n), p)).collect();
+        Estimate {
+            best_guess: posterior.keys().next().copied(),
+            posterior,
+        }
+    }
+
+    #[test]
+    fn empty_experiment_reports_zeroes() {
+        let experiment = PrivacyExperiment::new();
+        let summary = experiment.summary();
+        assert_eq!(summary.runs, 0);
+        assert_eq!(summary.detection_probability, 0.0);
+        assert_eq!(summary.mean_anonymity_set_size, 0.0);
+        assert_eq!(summary.mean_entropy_bits, 0.0);
+        assert_eq!(summary.mean_probability_on_origin, 0.0);
+    }
+
+    #[test]
+    fn detection_probability_counts_correct_guesses() {
+        let mut experiment = PrivacyExperiment::new();
+        experiment.record(AttackOutcome {
+            origin: NodeId::new(1),
+            estimate: point_estimate(1), // correct
+        });
+        experiment.record(AttackOutcome {
+            origin: NodeId::new(2),
+            estimate: point_estimate(5), // wrong
+        });
+        assert_eq!(experiment.runs(), 2);
+        assert!((experiment.detection_probability() - 0.5).abs() < 1e-12);
+        assert!((experiment.mean_probability_on_origin() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_posteriors_report_large_anonymity_sets() {
+        let mut experiment = PrivacyExperiment::new();
+        experiment.record(AttackOutcome {
+            origin: NodeId::new(3),
+            estimate: uniform_estimate(&[0, 1, 2, 3, 4, 5, 6, 7]),
+        });
+        let summary = experiment.summary();
+        assert_eq!(summary.mean_anonymity_set_size, 8.0);
+        assert!((summary.mean_entropy_bits - 3.0).abs() < 1e-9);
+        assert!((summary.mean_probability_on_origin - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = AttackOutcome {
+            origin: NodeId::new(1),
+            estimate: point_estimate(1),
+        };
+        assert!(outcome.detected());
+        assert_eq!(outcome.probability_on_origin(), 1.0);
+    }
+
+    #[test]
+    fn summary_display_contains_key_figures() {
+        let mut experiment = PrivacyExperiment::new();
+        experiment.record(AttackOutcome {
+            origin: NodeId::new(0),
+            estimate: point_estimate(0),
+        });
+        let text = experiment.summary().to_string();
+        assert!(text.contains("P[detect]=1.000"));
+        assert!(text.contains("n=1"));
+    }
+}

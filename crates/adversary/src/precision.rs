@@ -1,0 +1,202 @@
+//! Precision / recall accounting for deanonymisation campaigns.
+//!
+//! The Dandelion analysis the paper builds on reports attacker quality as a
+//! *precision–recall* trade-off rather than a single detection probability:
+//! an estimator may abstain (no adversarial node ever saw the broadcast), it
+//! may convict the wrong node, or it may convict correctly. Aggregating a
+//! campaign of many broadcasts into
+//!
+//! * **precision** — among the broadcasts where the estimator named a
+//!   suspect, how often was the suspect the true originator, and
+//! * **recall** — among all broadcasts, how often was the true originator
+//!   named,
+//!
+//! lets experiments distinguish "the attacker rarely guesses, but when it
+//! does it is right" (high precision, low recall — Dandelion's stem phase
+//! against few spies) from "the attacker always guesses and is usually
+//! right" (flooding against the first-spy attack).
+
+use crate::estimators::Estimate;
+use fnp_netsim::NodeId;
+
+/// One classified broadcast: the ground-truth originator, the estimator's
+/// suspect (if it produced one) and whether the conviction was correct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// True originator of the broadcast.
+    pub origin: NodeId,
+    /// The estimator's single best guess, if any.
+    pub suspect: Option<NodeId>,
+}
+
+impl Classification {
+    /// Builds a classification from an estimate and the known origin.
+    pub fn from_estimate(origin: NodeId, estimate: &Estimate) -> Self {
+        Self {
+            origin,
+            suspect: estimate.best_guess,
+        }
+    }
+
+    /// Whether the estimator convicted the true originator.
+    pub fn is_true_positive(&self) -> bool {
+        self.suspect == Some(self.origin)
+    }
+
+    /// Whether the estimator convicted somebody, rightly or wrongly.
+    pub fn convicted(&self) -> bool {
+        self.suspect.is_some()
+    }
+}
+
+/// Aggregated precision/recall over a campaign of broadcasts.
+#[derive(Clone, Debug, Default)]
+pub struct ConfusionCounts {
+    true_positives: usize,
+    false_positives: usize,
+    abstentions: usize,
+}
+
+impl ConfusionCounts {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified broadcast.
+    pub fn record(&mut self, classification: Classification) {
+        if !classification.convicted() {
+            self.abstentions += 1;
+        } else if classification.is_true_positive() {
+            self.true_positives += 1;
+        } else {
+            self.false_positives += 1;
+        }
+    }
+
+    /// Convenience: classify an estimate against the known origin and record
+    /// it.
+    pub fn record_estimate(&mut self, origin: NodeId, estimate: &Estimate) {
+        self.record(Classification::from_estimate(origin, estimate));
+    }
+
+    /// Broadcasts recorded so far.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.abstentions
+    }
+
+    /// Broadcasts where the estimator named a suspect.
+    pub fn convictions(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+
+    /// Correct convictions.
+    pub fn true_positives(&self) -> usize {
+        self.true_positives
+    }
+
+    /// Wrong convictions.
+    pub fn false_positives(&self) -> usize {
+        self.false_positives
+    }
+
+    /// Broadcasts where the estimator abstained.
+    pub fn abstentions(&self) -> usize {
+        self.abstentions
+    }
+
+    /// Precision: correct convictions over all convictions. Defined as 1.0
+    /// when the estimator never convicted anyone (it made no mistakes).
+    pub fn precision(&self) -> f64 {
+        let convictions = self.convictions();
+        if convictions == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / convictions as f64
+    }
+
+    /// Recall: correct convictions over all broadcasts. Defined as 0.0 when
+    /// nothing has been recorded.
+    pub fn recall(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / total as f64
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0.0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn estimate_for(node: Option<usize>) -> Estimate {
+        let mut scores = BTreeMap::new();
+        if let Some(node) = node {
+            scores.insert(NodeId::new(node), 1.0);
+        }
+        Estimate::from_scores(scores)
+    }
+
+    #[test]
+    fn classification_distinguishes_the_three_outcomes() {
+        let correct = Classification::from_estimate(NodeId::new(3), &estimate_for(Some(3)));
+        let wrong = Classification::from_estimate(NodeId::new(3), &estimate_for(Some(4)));
+        let abstained = Classification::from_estimate(NodeId::new(3), &estimate_for(None));
+        assert!(correct.is_true_positive() && correct.convicted());
+        assert!(!wrong.is_true_positive() && wrong.convicted());
+        assert!(!abstained.is_true_positive() && !abstained.convicted());
+    }
+
+    #[test]
+    fn precision_and_recall_are_computed_over_the_campaign() {
+        let mut counts = ConfusionCounts::new();
+        counts.record_estimate(NodeId::new(1), &estimate_for(Some(1))); // TP
+        counts.record_estimate(NodeId::new(2), &estimate_for(Some(9))); // FP
+        counts.record_estimate(NodeId::new(3), &estimate_for(None)); // abstain
+        counts.record_estimate(NodeId::new(4), &estimate_for(Some(4))); // TP
+        assert_eq!(counts.total(), 4);
+        assert_eq!(counts.convictions(), 3);
+        assert_eq!(counts.true_positives(), 2);
+        assert_eq!(counts.false_positives(), 1);
+        assert_eq!(counts.abstentions(), 1);
+        assert!((counts.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((counts.recall() - 0.5).abs() < 1e-12);
+        assert!(counts.f1() > 0.5 && counts.f1() < 0.67);
+    }
+
+    #[test]
+    fn degenerate_cases_have_safe_defaults() {
+        let empty = ConfusionCounts::new();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+
+        let mut only_abstentions = ConfusionCounts::new();
+        only_abstentions.record_estimate(NodeId::new(0), &estimate_for(None));
+        assert_eq!(only_abstentions.precision(), 1.0);
+        assert_eq!(only_abstentions.recall(), 0.0);
+    }
+
+    #[test]
+    fn perfect_attacker_has_precision_and_recall_one() {
+        let mut counts = ConfusionCounts::new();
+        for i in 0..10 {
+            counts.record_estimate(NodeId::new(i), &estimate_for(Some(i)));
+        }
+        assert_eq!(counts.precision(), 1.0);
+        assert_eq!(counts.recall(), 1.0);
+        assert_eq!(counts.f1(), 1.0);
+    }
+}

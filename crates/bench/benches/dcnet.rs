@@ -1,0 +1,31 @@
+//! Criterion bench for experiments E4/E9: DC-net rounds of both variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dcnet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_dcnet_round");
+    group.sample_size(20);
+    for k in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("explicit", k), &k, |b, &k| {
+            let payloads = vec![None; k];
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| fnp_dcnet::run_explicit_round(&payloads, 512, &mut rng).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("keyed", k), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut dc_group = fnp_dcnet::KeyedDcGroup::new(k, 512, &mut rng).unwrap();
+            let payloads = vec![None; k];
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                dc_group.run_round(round, &payloads).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dcnet);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ablation A1 (§IV-B): the hash-based virtual-source election versus the
+//! ablated variant in which the originator keeps the virtual-source role.
+
+fn main() {
+    println!("A1 / §IV-B — virtual-source election ablation\n");
+    println!("1,000-node overlay, adversary fraction 0.2, first-spy estimator\n");
+    println!(
+        "{:<24} {:>12} {:>18} {:>16}",
+        "election", "P[detect]", "anonymity set", "entropy (bits)"
+    );
+    for row in fnp_bench::election_ablation(fnp_bench::PAPER_NETWORK_SIZE, 0.2, 20, 21) {
+        println!(
+            "{:<24} {:>12.3} {:>18.1} {:>16.2}",
+            row.strategy,
+            row.summary.detection_probability,
+            row.summary.mean_anonymity_set_size,
+            row.summary.mean_entropy_bits
+        );
+    }
+    println!(
+        "\nThe hash-based election decorrelates the diffusion centre from the true \
+         sender without any extra messages; keeping the originator as the virtual \
+         source gives the attacker back that correlation."
+    );
+}

@@ -1,0 +1,19 @@
+//! Experiment E5 (paper Fig. 5, §IV-B): an end-to-end run of the flexible
+//! three-phase protocol with the per-phase message breakdown across the
+//! (k, d) parameter grid.
+
+fn main() {
+    let n = 500;
+    let runs = 5;
+    println!("E5 / Fig. 5 — three-phase breakdown ({n} nodes, {runs} runs per cell)\n");
+    println!(
+        "{:<4} {:<4} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "k", "d", "phase1", "phase2", "phase3", "total", "coverage"
+    );
+    for row in fnp_bench::three_phase_breakdown(n, &[3, 5, 10], &[2, 4, 8], runs, 5) {
+        println!(
+            "{:<4} {:<4} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>9.1}%",
+            row.k, row.d, row.phase1, row.phase2, row.phase3, row.total, row.coverage * 100.0
+        );
+    }
+}

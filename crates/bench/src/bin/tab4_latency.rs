@@ -1,0 +1,19 @@
+//! Experiment E10 (§II, §V-C): dissemination latency of the four protocols,
+//! quantifying the fairness cost (time to reach the miners) that privacy
+//! mechanisms pay.
+
+fn main() {
+    let n = 500;
+    let runs = 5;
+    println!("E10 / §II — dissemination latency ({n} nodes, {runs} runs per protocol)\n");
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>12}",
+        "protocol", "t50% (ms)", "t90% (ms)", "t100% (ms)", "messages"
+    );
+    for row in fnp_bench::latency(n, runs, 8) {
+        println!(
+            "{:<20} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
+            row.protocol, row.t50_ms, row.t90_ms, row.t100_ms, row.messages
+        );
+    }
+}

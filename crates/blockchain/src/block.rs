@@ -1,0 +1,233 @@
+//! Blocks and block rewards.
+//!
+//! §II: miners "verify the received transactions, bundle them together with
+//! other transactions into blocks, and vote by a procedure called proof of
+//! work for the inclusion of the block into the blockchain. If the block is
+//! included, the miner receives a financial reward for having proposed the
+//! block, together with a small fee included in each transaction." This
+//! module captures exactly that: a block binds a miner to a set of
+//! transactions and a parent, and its reward is the fixed subsidy plus the
+//! sum of fees.
+//!
+//! Proof of work itself is *not* re-implemented — the paper does not evaluate
+//! consensus, only dissemination — so block discovery is modelled as the
+//! usual Poisson race in [`crate::miner`], and the "hash" here is an ordinary
+//! SHA-256 content hash used for parent linking and integrity only.
+
+use crate::transaction::{Transaction, TxId};
+use fnp_crypto::Sha256;
+use fnp_netsim::{NodeId, SimTime};
+use std::fmt;
+
+/// Fixed block subsidy paid to the winning miner on top of the fees.
+///
+/// The absolute value is irrelevant to every experiment (only the *ratio* of
+/// fee income between miners matters for the fairness metrics); 50 units
+/// echoes Bitcoin's original subsidy.
+pub const BLOCK_SUBSIDY: u64 = 50;
+
+/// Hash identifying a block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockHash([u8; 32]);
+
+impl BlockHash {
+    /// The all-zero hash used as the genesis parent.
+    pub const ZERO: BlockHash = BlockHash([0u8; 32]);
+
+    /// Raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hex: String = self.0[..4].iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "BlockHash({hex}…)")
+    }
+}
+
+/// The header fields that determine a block's hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height in the chain (genesis is 0).
+    pub height: u64,
+    /// Hash of the parent block ([`BlockHash::ZERO`] for genesis).
+    pub parent: BlockHash,
+    /// The miner that found the block.
+    pub miner: NodeId,
+    /// Simulation time at which the block was found.
+    pub found_at: SimTime,
+}
+
+/// A block: header plus the included transactions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    header: BlockHeader,
+    transactions: Vec<Transaction>,
+    hash: BlockHash,
+}
+
+impl Block {
+    /// Assembles a block from a header and transaction list, computing its
+    /// hash.
+    pub fn new(header: BlockHeader, transactions: Vec<Transaction>) -> Self {
+        let hash = Self::compute_hash(&header, &transactions);
+        Self {
+            header,
+            transactions,
+            hash,
+        }
+    }
+
+    /// The genesis block: height 0, zero parent, mined by `miner` at time 0
+    /// with no transactions.
+    pub fn genesis(miner: NodeId) -> Self {
+        Self::new(
+            BlockHeader {
+                height: 0,
+                parent: BlockHash::ZERO,
+                miner,
+                found_at: 0,
+            },
+            Vec::new(),
+        )
+    }
+
+    fn compute_hash(header: &BlockHeader, transactions: &[Transaction]) -> BlockHash {
+        let mut hasher = Sha256::new();
+        hasher.update(b"fnp-block-v1");
+        hasher.update(&header.height.to_le_bytes());
+        hasher.update(header.parent.as_bytes());
+        hasher.update(&(header.miner.index() as u64).to_le_bytes());
+        hasher.update(&(header.found_at as u64).to_le_bytes());
+        for tx in transactions {
+            hasher.update(tx.id().as_bytes());
+        }
+        BlockHash(hasher.finalize())
+    }
+
+    /// The block's header.
+    pub fn header(&self) -> &BlockHeader {
+        &self.header
+    }
+
+    /// The block's hash.
+    pub fn hash(&self) -> BlockHash {
+        self.hash
+    }
+
+    /// Height in the chain.
+    pub fn height(&self) -> u64 {
+        self.header.height
+    }
+
+    /// The miner that found the block.
+    pub fn miner(&self) -> NodeId {
+        self.header.miner
+    }
+
+    /// Simulation time the block was found.
+    pub fn found_at(&self) -> SimTime {
+        self.header.found_at
+    }
+
+    /// The included transactions.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Whether a given transaction is included.
+    pub fn includes(&self, id: &TxId) -> bool {
+        self.transactions.iter().any(|tx| tx.id() == *id)
+    }
+
+    /// Sum of the included transactions' fees.
+    pub fn total_fees(&self) -> u64 {
+        self.transactions.iter().map(Transaction::fee).sum()
+    }
+
+    /// Total reward to the miner: subsidy plus fees.
+    pub fn reward(&self) -> u64 {
+        BLOCK_SUBSIDY + self.total_fees()
+    }
+
+    /// Total wire size of the included transactions in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.transactions.iter().map(Transaction::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(origin: usize, size: usize, fee: u64) -> Transaction {
+        Transaction::new(NodeId::new(origin), size, fee, 0)
+    }
+
+    #[test]
+    fn genesis_has_height_zero_and_zero_parent() {
+        let genesis = Block::genesis(NodeId::new(0));
+        assert_eq!(genesis.height(), 0);
+        assert_eq!(genesis.header().parent, BlockHash::ZERO);
+        assert!(genesis.transactions().is_empty());
+        assert_eq!(genesis.reward(), BLOCK_SUBSIDY);
+    }
+
+    #[test]
+    fn reward_is_subsidy_plus_fees() {
+        let block = Block::new(
+            BlockHeader {
+                height: 1,
+                parent: BlockHash::ZERO,
+                miner: NodeId::new(3),
+                found_at: 10,
+            },
+            vec![tx(1, 250, 100), tx(2, 250, 40)],
+        );
+        assert_eq!(block.total_fees(), 140);
+        assert_eq!(block.reward(), BLOCK_SUBSIDY + 140);
+        assert_eq!(block.size_bytes(), 500);
+    }
+
+    #[test]
+    fn hash_changes_with_contents() {
+        let header = BlockHeader {
+            height: 1,
+            parent: BlockHash::ZERO,
+            miner: NodeId::new(3),
+            found_at: 10,
+        };
+        let a = Block::new(header.clone(), vec![tx(1, 250, 100)]);
+        let b = Block::new(header.clone(), vec![tx(2, 250, 100)]);
+        let c = Block::new(BlockHeader { height: 2, ..header }, vec![tx(1, 250, 100)]);
+        assert_ne!(a.hash(), b.hash());
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn includes_checks_membership() {
+        let included = tx(1, 100, 5);
+        let excluded = tx(2, 100, 5);
+        let block = Block::new(
+            BlockHeader {
+                height: 1,
+                parent: BlockHash::ZERO,
+                miner: NodeId::new(0),
+                found_at: 1,
+            },
+            vec![included.clone()],
+        );
+        assert!(block.includes(&included.id()));
+        assert!(!block.includes(&excluded.id()));
+    }
+
+    #[test]
+    fn debug_formats_a_short_prefix() {
+        let genesis = Block::genesis(NodeId::new(0));
+        let debug = format!("{:?}", genesis.hash());
+        assert!(debug.starts_with("BlockHash("));
+        assert!(debug.ends_with("…)"));
+    }
+}

@@ -1,0 +1,282 @@
+//! An append-only validated chain of blocks.
+//!
+//! The experiments never need forks or reorganisations — the paper's
+//! argument is entirely about *which miner gets to append* and *when a
+//! transaction gets included*, not about consensus conflicts — so the chain
+//! is a simple validated list: every appended block must extend the current
+//! tip by exactly one height and reference its hash. What the chain *does*
+//! track carefully is the part §II reasons about: cumulative fee and reward
+//! income per miner, and when each transaction was included.
+
+use crate::block::{Block, BlockHash};
+use crate::transaction::TxId;
+use fnp_netsim::{NodeId, SimTime};
+use std::collections::BTreeMap;
+
+/// Errors returned when appending an invalid block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block's height does not extend the tip by one.
+    WrongHeight {
+        /// Height carried by the rejected block.
+        got: u64,
+        /// Height the chain expected.
+        expected: u64,
+    },
+    /// The block does not reference the tip's hash.
+    WrongParent {
+        /// Parent hash carried by the rejected block.
+        got: BlockHash,
+        /// The current tip hash.
+        expected: BlockHash,
+    },
+    /// A transaction in the block was already included earlier.
+    DuplicateTransaction {
+        /// The duplicated transaction.
+        id: TxId,
+        /// Height of the block that already includes it.
+        included_at: u64,
+    },
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::WrongHeight { got, expected } => {
+                write!(f, "block height {got} does not extend the tip (expected {expected})")
+            }
+            ChainError::WrongParent { got, expected } => {
+                write!(f, "block parent {got:?} does not match the tip {expected:?}")
+            }
+            ChainError::DuplicateTransaction { id, included_at } => {
+                write!(f, "transaction {id} was already included at height {included_at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A validated append-only blockchain.
+#[derive(Clone, Debug)]
+pub struct Blockchain {
+    blocks: Vec<Block>,
+    inclusion_height: BTreeMap<TxId, u64>,
+}
+
+impl Blockchain {
+    /// Creates a chain containing only the genesis block mined by `miner`.
+    pub fn new(genesis_miner: NodeId) -> Self {
+        Self {
+            blocks: vec![Block::genesis(genesis_miner)],
+            inclusion_height: BTreeMap::new(),
+        }
+    }
+
+    /// Number of blocks including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A chain always contains at least the genesis block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current tip.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("chain always has a genesis block")
+    }
+
+    /// Height of the current tip.
+    pub fn height(&self) -> u64 {
+        self.tip().height()
+    }
+
+    /// The block at `height`, if it exists.
+    pub fn block_at(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Iterates over all blocks from genesis to tip.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Appends a block after validating height, parent linkage and
+    /// transaction uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChainError`] describing the first validation failure.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        let expected_height = self.height() + 1;
+        if block.height() != expected_height {
+            return Err(ChainError::WrongHeight {
+                got: block.height(),
+                expected: expected_height,
+            });
+        }
+        let expected_parent = self.tip().hash();
+        if block.header().parent != expected_parent {
+            return Err(ChainError::WrongParent {
+                got: block.header().parent,
+                expected: expected_parent,
+            });
+        }
+        for tx in block.transactions() {
+            if let Some(&height) = self.inclusion_height.get(&tx.id()) {
+                return Err(ChainError::DuplicateTransaction {
+                    id: tx.id(),
+                    included_at: height,
+                });
+            }
+        }
+        for tx in block.transactions() {
+            self.inclusion_height.insert(tx.id(), block.height());
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// The height at which a transaction was included, if any.
+    pub fn inclusion_height(&self, id: &TxId) -> Option<u64> {
+        self.inclusion_height.get(id).copied()
+    }
+
+    /// The simulation time at which a transaction was included, if any.
+    pub fn inclusion_time(&self, id: &TxId) -> Option<SimTime> {
+        self.inclusion_height(id)
+            .and_then(|height| self.block_at(height))
+            .map(Block::found_at)
+    }
+
+    /// Cumulative reward (subsidy plus fees) earned by each miner,
+    /// excluding the genesis block.
+    pub fn rewards_by_miner(&self) -> BTreeMap<NodeId, u64> {
+        let mut rewards = BTreeMap::new();
+        for block in self.blocks.iter().skip(1) {
+            *rewards.entry(block.miner()).or_insert(0) += block.reward();
+        }
+        rewards
+    }
+
+    /// Cumulative fee income (excluding subsidies) earned by each miner.
+    pub fn fees_by_miner(&self) -> BTreeMap<NodeId, u64> {
+        let mut fees = BTreeMap::new();
+        for block in self.blocks.iter().skip(1) {
+            *fees.entry(block.miner()).or_insert(0) += block.total_fees();
+        }
+        fees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockHeader;
+    use crate::transaction::Transaction;
+
+    fn extend(chain: &Blockchain, miner: usize, txs: Vec<Transaction>, at: SimTime) -> Block {
+        Block::new(
+            BlockHeader {
+                height: chain.height() + 1,
+                parent: chain.tip().hash(),
+                miner: NodeId::new(miner),
+                found_at: at,
+            },
+            txs,
+        )
+    }
+
+    #[test]
+    fn new_chain_has_only_genesis() {
+        let chain = Blockchain::new(NodeId::new(0));
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.height(), 0);
+        assert!(!chain.is_empty());
+        assert!(chain.rewards_by_miner().is_empty());
+    }
+
+    #[test]
+    fn appending_valid_blocks_advances_the_tip() {
+        let mut chain = Blockchain::new(NodeId::new(0));
+        let b1 = extend(&chain, 1, vec![], 100);
+        chain.append(b1.clone()).unwrap();
+        let b2 = extend(&chain, 2, vec![], 200);
+        chain.append(b2).unwrap();
+        assert_eq!(chain.height(), 2);
+        assert_eq!(chain.block_at(1), Some(&b1));
+    }
+
+    #[test]
+    fn wrong_height_is_rejected() {
+        let mut chain = Blockchain::new(NodeId::new(0));
+        let mut bad = extend(&chain, 1, vec![], 100);
+        bad = Block::new(
+            BlockHeader {
+                height: 5,
+                ..bad.header().clone()
+            },
+            vec![],
+        );
+        assert_eq!(
+            chain.append(bad),
+            Err(ChainError::WrongHeight { got: 5, expected: 1 })
+        );
+    }
+
+    #[test]
+    fn wrong_parent_is_rejected() {
+        let mut chain = Blockchain::new(NodeId::new(0));
+        let bad = Block::new(
+            BlockHeader {
+                height: 1,
+                parent: BlockHash::ZERO,
+                miner: NodeId::new(1),
+                found_at: 50,
+            },
+            vec![],
+        );
+        // Genesis hash is not ZERO, so this parent reference is invalid.
+        assert!(matches!(chain.append(bad), Err(ChainError::WrongParent { .. })));
+    }
+
+    #[test]
+    fn duplicate_transactions_are_rejected() {
+        let mut chain = Blockchain::new(NodeId::new(0));
+        let tx = Transaction::new(NodeId::new(9), 250, 10, 0);
+        chain.append(extend(&chain, 1, vec![tx.clone()], 100)).unwrap();
+        let duplicate = extend(&chain, 2, vec![tx.clone()], 200);
+        assert_eq!(
+            chain.append(duplicate),
+            Err(ChainError::DuplicateTransaction { id: tx.id(), included_at: 1 })
+        );
+    }
+
+    #[test]
+    fn inclusion_queries_report_height_and_time() {
+        let mut chain = Blockchain::new(NodeId::new(0));
+        let tx = Transaction::new(NodeId::new(9), 250, 10, 0);
+        assert_eq!(chain.inclusion_height(&tx.id()), None);
+        chain.append(extend(&chain, 1, vec![tx.clone()], 750)).unwrap();
+        assert_eq!(chain.inclusion_height(&tx.id()), Some(1));
+        assert_eq!(chain.inclusion_time(&tx.id()), Some(750));
+    }
+
+    #[test]
+    fn earnings_are_attributed_to_the_winning_miners() {
+        let mut chain = Blockchain::new(NodeId::new(0));
+        let tx1 = Transaction::new(NodeId::new(9), 250, 100, 0);
+        let tx2 = Transaction::new(NodeId::new(8), 250, 40, 0);
+        chain.append(extend(&chain, 1, vec![tx1], 100)).unwrap();
+        chain.append(extend(&chain, 2, vec![tx2], 200)).unwrap();
+        chain.append(extend(&chain, 1, vec![], 300)).unwrap();
+        let fees = chain.fees_by_miner();
+        assert_eq!(fees[&NodeId::new(1)], 100);
+        assert_eq!(fees[&NodeId::new(2)], 40);
+        let rewards = chain.rewards_by_miner();
+        assert_eq!(rewards[&NodeId::new(1)], 100 + 2 * crate::block::BLOCK_SUBSIDY);
+        assert_eq!(rewards[&NodeId::new(2)], 40 + crate::block::BLOCK_SUBSIDY);
+    }
+}

@@ -1,0 +1,185 @@
+//! Fairness metrics over miner fee income.
+//!
+//! §II twice appeals to fairness: block propagation latency "provides
+//! fairness to the miners, since otherwise miners with high latency are
+//! disadvantaged", and for transactions "each transaction needs to be
+//! broadcast to all miners with low latency, such that each miner has the
+//! same chance to earn the associated transaction fee". The experiments
+//! quantify this with two standard indices computed over each miner's fee
+//! income normalised by its hash-rate share:
+//!
+//! * **Jain's fairness index** — 1.0 when every miner earns exactly in
+//!   proportion to its hash rate, approaching `1/n` when a single miner
+//!   captures everything.
+//! * **Gini coefficient** — 0.0 for perfectly proportional income, growing
+//!   towards 1.0 as income concentrates.
+
+use fnp_netsim::NodeId;
+use std::collections::BTreeMap;
+
+/// Jain's fairness index of a set of non-negative allocations.
+///
+/// Returns 1.0 for an empty or all-zero input (nothing is unfairly
+/// distributed when there is nothing to distribute).
+pub fn jain_fairness_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// Gini coefficient of a set of non-negative allocations.
+///
+/// Returns 0.0 for an empty, single-element or all-zero input.
+pub fn gini_coefficient(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &value)| (i as f64 + 1.0) * value)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Fairness of one transaction-race experiment (see [`crate::scenario`]).
+#[derive(Clone, Debug)]
+pub struct FairnessReport {
+    /// Per-miner fee income across all simulated races.
+    pub fees_by_miner: BTreeMap<NodeId, u64>,
+    /// Per-miner fee income normalised by hash-rate share (the quantity that
+    /// should be identical across miners in a perfectly fair system).
+    pub normalized_income: Vec<f64>,
+    /// Jain's fairness index over the normalised incomes.
+    pub jain_index: f64,
+    /// Gini coefficient over the normalised incomes.
+    pub gini: f64,
+    /// Mean delay, in simulation-time units, between a transaction's creation
+    /// and its inclusion in a block.
+    pub mean_inclusion_delay: f64,
+    /// Fraction of simulated transactions that were never included.
+    pub orphaned_fraction: f64,
+}
+
+impl FairnessReport {
+    /// Builds a report from per-miner fees, per-miner hash-rate shares,
+    /// observed inclusion delays and the count of never-included
+    /// transactions.
+    pub fn from_observations(
+        fees_by_miner: BTreeMap<NodeId, u64>,
+        hashrate_shares: &BTreeMap<NodeId, f64>,
+        inclusion_delays: &[f64],
+        orphaned: usize,
+        total_transactions: usize,
+    ) -> Self {
+        let normalized_income: Vec<f64> = hashrate_shares
+            .iter()
+            .map(|(node, &share)| {
+                let fees = fees_by_miner.get(node).copied().unwrap_or(0) as f64;
+                if share > 0.0 {
+                    fees / share
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let jain_index = jain_fairness_index(&normalized_income);
+        let gini = gini_coefficient(&normalized_income);
+        let mean_inclusion_delay = if inclusion_delays.is_empty() {
+            0.0
+        } else {
+            inclusion_delays.iter().sum::<f64>() / inclusion_delays.len() as f64
+        };
+        let orphaned_fraction = if total_transactions == 0 {
+            0.0
+        } else {
+            orphaned as f64 / total_transactions as f64
+        };
+        Self {
+            fees_by_miner,
+            normalized_income,
+            jain_index,
+            gini,
+            mean_inclusion_delay,
+            orphaned_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_index_of_equal_allocations_is_one() {
+        assert!((jain_fairness_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(jain_fairness_index(&[]), 1.0);
+        assert_eq!(jain_fairness_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_index_of_a_monopoly_is_one_over_n() {
+        let index = jain_fairness_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((index - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_of_equal_allocations_is_zero() {
+        assert!(gini_coefficient(&[3.0, 3.0, 3.0]).abs() < 1e-12);
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[7.0]), 0.0);
+        assert_eq!(gini_coefficient(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_grows_with_concentration() {
+        let spread = gini_coefficient(&[1.0, 2.0, 3.0, 4.0]);
+        let concentrated = gini_coefficient(&[0.0, 0.0, 0.0, 10.0]);
+        assert!(concentrated > spread);
+        assert!(concentrated <= 1.0);
+        assert!(spread >= 0.0);
+    }
+
+    #[test]
+    fn report_normalises_by_hashrate_share() {
+        let mut fees = BTreeMap::new();
+        fees.insert(NodeId::new(0), 100u64);
+        fees.insert(NodeId::new(1), 100u64);
+        let mut shares = BTreeMap::new();
+        shares.insert(NodeId::new(0), 0.5);
+        shares.insert(NodeId::new(1), 0.5);
+        let report = FairnessReport::from_observations(fees, &shares, &[10.0, 20.0], 1, 3);
+        assert!((report.jain_index - 1.0).abs() < 1e-12);
+        assert!(report.gini.abs() < 1e-12);
+        assert!((report.mean_inclusion_delay - 15.0).abs() < 1e-12);
+        assert!((report.orphaned_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_detects_unfair_distributions() {
+        let mut fees = BTreeMap::new();
+        fees.insert(NodeId::new(0), 200u64);
+        fees.insert(NodeId::new(1), 0u64);
+        let mut shares = BTreeMap::new();
+        shares.insert(NodeId::new(0), 0.5);
+        shares.insert(NodeId::new(1), 0.5);
+        let report = FairnessReport::from_observations(fees, &shares, &[], 0, 0);
+        assert!(report.jain_index < 0.75);
+        assert!(report.gini > 0.25);
+        assert_eq!(report.mean_inclusion_delay, 0.0);
+        assert_eq!(report.orphaned_fraction, 0.0);
+    }
+}

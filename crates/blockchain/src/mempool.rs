@@ -1,0 +1,294 @@
+//! The memory pool: where miners keep transactions they have heard about.
+//!
+//! §II's fairness argument is about *which miners have a transaction in
+//! their mempool when they find a block*. The pool itself is standard: it
+//! deduplicates by transaction id, orders candidates by fee rate (miners are
+//! fee maximisers) and evicts the lowest-fee-rate entries when a byte budget
+//! is exceeded, mirroring Bitcoin Core's `-maxmempool` behaviour closely
+//! enough for the experiments in this workspace.
+
+use crate::transaction::{Transaction, TxId};
+use std::collections::BTreeMap;
+
+/// Errors returned by [`Mempool::insert`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MempoolError {
+    /// The transaction is already in the pool.
+    Duplicate {
+        /// The offending transaction id.
+        id: TxId,
+    },
+    /// The transaction alone exceeds the pool's byte capacity.
+    TooLarge {
+        /// Size of the rejected transaction.
+        size: usize,
+        /// Pool capacity in bytes.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MempoolError::Duplicate { id } => write!(f, "transaction {id} is already pooled"),
+            MempoolError::TooLarge { size, capacity } => {
+                write!(f, "transaction of {size} bytes exceeds pool capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// A fee-rate-ordered transaction pool with a byte-capacity bound.
+#[derive(Clone, Debug)]
+pub struct Mempool {
+    transactions: BTreeMap<TxId, Transaction>,
+    capacity_bytes: usize,
+    used_bytes: usize,
+}
+
+impl Mempool {
+    /// Creates an empty pool holding at most `capacity_bytes` of transactions.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            transactions: BTreeMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+        }
+    }
+
+    /// Number of pooled transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Byte capacity of the pool.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Whether a transaction id is pooled.
+    pub fn contains(&self, id: &TxId) -> bool {
+        self.transactions.contains_key(id)
+    }
+
+    /// Looks up a pooled transaction.
+    pub fn get(&self, id: &TxId) -> Option<&Transaction> {
+        self.transactions.get(id)
+    }
+
+    /// Inserts a transaction, evicting the lowest-fee-rate entries if the
+    /// byte budget would be exceeded.
+    ///
+    /// Returns the evicted transactions (possibly empty).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicates and on transactions that are larger than the whole
+    /// pool.
+    pub fn insert(&mut self, tx: Transaction) -> Result<Vec<Transaction>, MempoolError> {
+        if self.transactions.contains_key(&tx.id()) {
+            return Err(MempoolError::Duplicate { id: tx.id() });
+        }
+        if tx.size_bytes() > self.capacity_bytes {
+            return Err(MempoolError::TooLarge {
+                size: tx.size_bytes(),
+                capacity: self.capacity_bytes,
+            });
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes + tx.size_bytes() > self.capacity_bytes {
+            match self.lowest_fee_rate_id() {
+                Some(victim) if victim != tx.id() => {
+                    let removed = self
+                        .remove(&victim)
+                        .expect("victim id was just selected from the pool");
+                    evicted.push(removed);
+                }
+                _ => break,
+            }
+        }
+        self.used_bytes += tx.size_bytes();
+        self.transactions.insert(tx.id(), tx);
+        Ok(evicted)
+    }
+
+    /// Removes a transaction (e.g. because it was included in a block).
+    pub fn remove(&mut self, id: &TxId) -> Option<Transaction> {
+        let removed = self.transactions.remove(id);
+        if let Some(tx) = &removed {
+            self.used_bytes -= tx.size_bytes();
+        }
+        removed
+    }
+
+    /// Iterates over pooled transactions in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.transactions.values()
+    }
+
+    /// Greedily selects transactions for a block of at most `max_bytes`,
+    /// highest fee rate first (ties broken by transaction id for
+    /// determinism).
+    pub fn select_for_block(&self, max_bytes: usize) -> Vec<Transaction> {
+        let mut candidates: Vec<&Transaction> = self.transactions.values().collect();
+        candidates.sort_by(|a, b| {
+            b.fee_rate()
+                .partial_cmp(&a.fee_rate())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        let mut selected = Vec::new();
+        let mut used = 0usize;
+        for tx in candidates {
+            if used + tx.size_bytes() <= max_bytes {
+                used += tx.size_bytes();
+                selected.push(tx.clone());
+            }
+        }
+        selected
+    }
+
+    /// Id of the pooled transaction with the lowest fee rate, if any.
+    fn lowest_fee_rate_id(&self) -> Option<TxId> {
+        self.transactions
+            .values()
+            .min_by(|a, b| {
+                a.fee_rate()
+                    .partial_cmp(&b.fee_rate())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.id().cmp(&b.id()))
+            })
+            .map(Transaction::id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnp_netsim::NodeId;
+    use proptest::prelude::*;
+
+    fn tx(origin: usize, size: usize, fee: u64) -> Transaction {
+        Transaction::new(NodeId::new(origin), size, fee, origin as u64)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut pool = Mempool::new(10_000);
+        let t = tx(1, 250, 100);
+        assert!(pool.insert(t.clone()).unwrap().is_empty());
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(&t.id()));
+        assert_eq!(pool.get(&t.id()), Some(&t));
+        assert_eq!(pool.used_bytes(), 250);
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let mut pool = Mempool::new(10_000);
+        let t = tx(1, 250, 100);
+        pool.insert(t.clone()).unwrap();
+        assert_eq!(pool.insert(t.clone()), Err(MempoolError::Duplicate { id: t.id() }));
+    }
+
+    #[test]
+    fn oversized_transactions_are_rejected() {
+        let mut pool = Mempool::new(100);
+        let t = tx(1, 101, 100);
+        assert_eq!(
+            pool.insert(t),
+            Err(MempoolError::TooLarge { size: 101, capacity: 100 })
+        );
+    }
+
+    #[test]
+    fn eviction_removes_the_lowest_fee_rate_first() {
+        let mut pool = Mempool::new(500);
+        let cheap = tx(1, 250, 10); // 0.04 fee rate
+        let rich = tx(2, 250, 500); // 2.0 fee rate
+        pool.insert(cheap.clone()).unwrap();
+        pool.insert(rich.clone()).unwrap();
+        // A third transaction forces eviction of the cheapest.
+        let newcomer = tx(3, 250, 100);
+        let evicted = pool.insert(newcomer.clone()).unwrap();
+        assert_eq!(evicted, vec![cheap]);
+        assert!(pool.contains(&rich.id()));
+        assert!(pool.contains(&newcomer.id()));
+        assert_eq!(pool.used_bytes(), 500);
+    }
+
+    #[test]
+    fn remove_frees_bytes() {
+        let mut pool = Mempool::new(1_000);
+        let t = tx(1, 400, 10);
+        pool.insert(t.clone()).unwrap();
+        assert_eq!(pool.remove(&t.id()), Some(t));
+        assert_eq!(pool.used_bytes(), 0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn block_selection_prefers_high_fee_rates_within_the_byte_budget() {
+        let mut pool = Mempool::new(10_000);
+        let low = tx(1, 400, 4); // 0.01
+        let mid = tx(2, 400, 200); // 0.5
+        let high = tx(3, 400, 800); // 2.0
+        for t in [&low, &mid, &high] {
+            pool.insert(t.clone()).unwrap();
+        }
+        let selected = pool.select_for_block(800);
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].id(), high.id());
+        assert_eq!(selected[1].id(), mid.id());
+    }
+
+    #[test]
+    fn block_selection_of_empty_pool_is_empty() {
+        let pool = Mempool::new(1_000);
+        assert!(pool.select_for_block(1_000).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn used_bytes_never_exceeds_capacity_after_inserts(
+            sizes in proptest::collection::vec(1usize..300, 1..40),
+            fees in proptest::collection::vec(0u64..1_000, 1..40)
+        ) {
+            let mut pool = Mempool::new(1_000);
+            for (i, (&size, &fee)) in sizes.iter().zip(fees.iter()).enumerate() {
+                let _ = pool.insert(tx(i, size, fee));
+                prop_assert!(pool.used_bytes() <= pool.capacity_bytes());
+                let recomputed: usize = pool.iter().map(Transaction::size_bytes).sum();
+                prop_assert_eq!(recomputed, pool.used_bytes());
+            }
+        }
+
+        #[test]
+        fn block_selection_respects_the_byte_budget(
+            sizes in proptest::collection::vec(1usize..300, 1..30),
+            budget in 100usize..2_000
+        ) {
+            let mut pool = Mempool::new(1_000_000);
+            for (i, &size) in sizes.iter().enumerate() {
+                pool.insert(tx(i, size, (i as u64 + 1) * 7)).unwrap();
+            }
+            let selected = pool.select_for_block(budget);
+            let total: usize = selected.iter().map(Transaction::size_bytes).sum();
+            prop_assert!(total <= budget);
+        }
+    }
+}

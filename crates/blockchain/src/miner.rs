@@ -1,0 +1,237 @@
+//! Miners and the proof-of-work block race.
+//!
+//! The paper argues (§II) that dissemination latency translates into
+//! *unfairness*: a miner that learns of a transaction late has a window in
+//! which it may find a block but cannot include the transaction, so the fee
+//! flows disproportionately to well-connected miners. To measure that, this
+//! module models proof of work the standard way: block discovery is a
+//! Poisson process, the time to the next block is exponentially distributed
+//! with the configured mean interval, and the finder is drawn proportionally
+//! to hash-rate share. Everything else (difficulty adjustment, orphan races,
+//! selfish mining) is out of scope for the paper and deliberately omitted.
+
+use fnp_netsim::{NodeId, SimTime};
+use rand::Rng;
+
+/// One miner: a network node with a hash-rate share.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Miner {
+    /// The network node operating the miner.
+    pub node: NodeId,
+    /// Relative hash rate (any non-negative scale; shares are normalised).
+    pub hashrate: f64,
+}
+
+/// Errors constructing a miner set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MinerSetError {
+    /// No miners were supplied.
+    Empty,
+    /// A miner has a negative or non-finite hash rate.
+    InvalidHashrate {
+        /// The offending miner.
+        node: NodeId,
+        /// The offending hash rate.
+        hashrate: f64,
+    },
+    /// The total hash rate is zero, so no block can ever be found.
+    ZeroTotalHashrate,
+}
+
+impl std::fmt::Display for MinerSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinerSetError::Empty => write!(f, "a miner set needs at least one miner"),
+            MinerSetError::InvalidHashrate { node, hashrate } => {
+                write!(f, "miner {node:?} has invalid hashrate {hashrate}")
+            }
+            MinerSetError::ZeroTotalHashrate => write!(f, "total hashrate is zero"),
+        }
+    }
+}
+
+impl std::error::Error for MinerSetError {}
+
+/// A set of miners participating in the block race.
+#[derive(Clone, Debug)]
+pub struct MinerSet {
+    miners: Vec<Miner>,
+    total_hashrate: f64,
+}
+
+impl MinerSet {
+    /// Creates a miner set, validating the hash rates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty set, a negative/non-finite hash rate or an all-zero
+    /// total.
+    pub fn new(miners: Vec<Miner>) -> Result<Self, MinerSetError> {
+        if miners.is_empty() {
+            return Err(MinerSetError::Empty);
+        }
+        for miner in &miners {
+            if !miner.hashrate.is_finite() || miner.hashrate < 0.0 {
+                return Err(MinerSetError::InvalidHashrate {
+                    node: miner.node,
+                    hashrate: miner.hashrate,
+                });
+            }
+        }
+        let total_hashrate: f64 = miners.iter().map(|m| m.hashrate).sum();
+        if total_hashrate <= 0.0 {
+            return Err(MinerSetError::ZeroTotalHashrate);
+        }
+        Ok(Self {
+            miners,
+            total_hashrate,
+        })
+    }
+
+    /// Builds a set of `count` equal-hash-rate miners on the first `count`
+    /// node ids — the configuration used by most experiments, where the
+    /// interesting asymmetry is in *network position*, not in hash rate.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `count` is zero.
+    pub fn uniform(count: usize) -> Result<Self, MinerSetError> {
+        Self::new(
+            (0..count)
+                .map(|i| Miner {
+                    node: NodeId::new(i),
+                    hashrate: 1.0,
+                })
+                .collect(),
+        )
+    }
+
+    /// The miners in the set.
+    pub fn miners(&self) -> &[Miner] {
+        &self.miners
+    }
+
+    /// Number of miners.
+    pub fn len(&self) -> usize {
+        self.miners.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.miners.is_empty()
+    }
+
+    /// A miner's normalised hash-rate share, or 0 if the node is not a miner.
+    pub fn hashrate_share(&self, node: NodeId) -> f64 {
+        self.miners
+            .iter()
+            .find(|m| m.node == node)
+            .map(|m| m.hashrate / self.total_hashrate)
+            .unwrap_or(0.0)
+    }
+
+    /// Samples the finder of the next block, proportionally to hash rate.
+    pub fn sample_winner<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        let mut target = rng.gen_range(0.0..self.total_hashrate);
+        for miner in &self.miners {
+            if target < miner.hashrate {
+                return miner.node;
+            }
+            target -= miner.hashrate;
+        }
+        // Floating-point slack: fall back to the last miner with hash rate.
+        self.miners
+            .iter()
+            .rev()
+            .find(|m| m.hashrate > 0.0)
+            .expect("total hashrate is positive")
+            .node
+    }
+
+    /// Samples the time until the next block is found, exponentially
+    /// distributed with mean `mean_interval` (simulation-time units).
+    pub fn sample_block_interval<R: Rng + ?Sized>(
+        &self,
+        mean_interval: SimTime,
+        rng: &mut R,
+    ) -> SimTime {
+        let uniform: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let interval = -(uniform.ln()) * mean_interval as f64;
+        interval.round().max(1.0) as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_set_has_equal_shares() {
+        let set = MinerSet::uniform(4).unwrap();
+        assert_eq!(set.len(), 4);
+        for miner in set.miners() {
+            assert!((set.hashrate_share(miner.node) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(set.hashrate_share(NodeId::new(99)), 0.0);
+    }
+
+    #[test]
+    fn empty_and_invalid_sets_are_rejected() {
+        assert_eq!(MinerSet::new(vec![]).unwrap_err(), MinerSetError::Empty);
+        assert!(matches!(
+            MinerSet::new(vec![Miner { node: NodeId::new(0), hashrate: -1.0 }]),
+            Err(MinerSetError::InvalidHashrate { .. })
+        ));
+        assert_eq!(
+            MinerSet::new(vec![Miner { node: NodeId::new(0), hashrate: 0.0 }]).unwrap_err(),
+            MinerSetError::ZeroTotalHashrate
+        );
+    }
+
+    #[test]
+    fn winner_sampling_tracks_hashrate_shares() {
+        let set = MinerSet::new(vec![
+            Miner { node: NodeId::new(0), hashrate: 3.0 },
+            Miner { node: NodeId::new(1), hashrate: 1.0 },
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut wins = [0u32; 2];
+        for _ in 0..4_000 {
+            wins[set.sample_winner(&mut rng).index()] += 1;
+        }
+        let share0 = wins[0] as f64 / 4_000.0;
+        assert!((share0 - 0.75).abs() < 0.05, "share0 = {share0}");
+    }
+
+    #[test]
+    fn zero_hashrate_miners_never_win() {
+        let set = MinerSet::new(vec![
+            Miner { node: NodeId::new(0), hashrate: 0.0 },
+            Miner { node: NodeId::new(1), hashrate: 2.0 },
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert_eq!(set.sample_winner(&mut rng), NodeId::new(1));
+        }
+    }
+
+    #[test]
+    fn block_intervals_have_the_configured_mean() {
+        let set = MinerSet::uniform(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean_interval = 600_000; // 10 minutes in milliseconds-like units.
+        let samples: Vec<f64> = (0..5_000)
+            .map(|_| set.sample_block_interval(mean_interval, &mut rng) as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (mean - mean_interval as f64).abs() < mean_interval as f64 * 0.1,
+            "empirical mean {mean} too far from {mean_interval}"
+        );
+        assert!(samples.iter().all(|&s| s >= 1.0));
+    }
+}

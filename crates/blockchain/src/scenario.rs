@@ -1,0 +1,272 @@
+//! The inclusion race: how dissemination latency turns into fee unfairness.
+//!
+//! This module is the bridge between the broadcast protocols of this
+//! workspace and the blockchain economics of §II. The input is the thing
+//! every protocol harness already produces — a [`fnp_netsim::Metrics`] with
+//! per-node first-delivery times for one transaction broadcast — plus a
+//! [`MinerSet`]. The race then plays out the paper's argument literally:
+//!
+//! 1. a transaction is created at time 0 and propagates; miner *m* learns of
+//!    it at its delivery time `t_m` (possibly never),
+//! 2. blocks are found at exponentially distributed intervals by miners drawn
+//!    proportionally to hash rate,
+//! 3. the transaction is included by the **first winning miner that already
+//!    knows it**; that miner earns the fee.
+//!
+//! A slow or skewed broadcast therefore shifts fee income towards the miners
+//! that hear about transactions early — exactly the unfairness the paper
+//! says a dissemination mechanism must keep small. Repeating the race many
+//! times and aggregating with [`FairnessReport`] quantifies the effect for
+//! each protocol (experiment E12 / `tab7_fairness`).
+
+use crate::fairness::FairnessReport;
+use crate::miner::MinerSet;
+use fnp_netsim::{Metrics, NodeId, SimTime};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Configuration of one inclusion race.
+#[derive(Clone, Copy, Debug)]
+pub struct RaceConfig {
+    /// Mean block interval in [`SimTime`] units (microseconds); the default
+    /// is 600 s, the Bitcoin-like 10-minute interval.
+    pub mean_block_interval: SimTime,
+    /// Fee attached to the raced transaction.
+    pub fee: u64,
+    /// Give up after this many blocks if no knowing miner has won (the
+    /// transaction is counted as orphaned).
+    pub max_blocks: usize,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        Self {
+            mean_block_interval: 600 * fnp_netsim::SECOND,
+            fee: 100,
+            max_blocks: 50,
+        }
+    }
+}
+
+/// Outcome of a single race.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RaceOutcome {
+    /// The transaction was included by `miner` in a block found at `at`,
+    /// `blocks_waited` block discoveries after the broadcast started.
+    Included {
+        /// The miner that earned the fee.
+        miner: NodeId,
+        /// Simulation time of the including block.
+        at: SimTime,
+        /// Number of blocks found before (and including) the including one.
+        blocks_waited: usize,
+    },
+    /// No knowing miner won a block within the configured budget.
+    Orphaned,
+}
+
+impl RaceOutcome {
+    /// The including miner, if the transaction made it into a block.
+    pub fn miner(&self) -> Option<NodeId> {
+        match self {
+            RaceOutcome::Included { miner, .. } => Some(*miner),
+            RaceOutcome::Orphaned => None,
+        }
+    }
+}
+
+/// Runs a single inclusion race for a transaction whose per-node delivery
+/// times are recorded in `metrics`.
+///
+/// `delivery(m)` for each miner is read from `metrics.delivered_at`; miners
+/// whose node never received the broadcast can win blocks but never include
+/// the transaction.
+pub fn race_transaction<R: Rng + ?Sized>(
+    metrics: &Metrics,
+    miners: &MinerSet,
+    config: RaceConfig,
+    rng: &mut R,
+) -> RaceOutcome {
+    let mut now: SimTime = 0;
+    for round in 1..=config.max_blocks {
+        now += miners.sample_block_interval(config.mean_block_interval, rng);
+        let winner = miners.sample_winner(rng);
+        let knows = metrics
+            .delivered_at
+            .get(winner.index())
+            .copied()
+            .flatten()
+            .map(|delivered| delivered <= now)
+            .unwrap_or(false);
+        if knows {
+            return RaceOutcome::Included {
+                miner: winner,
+                at: now,
+                blocks_waited: round,
+            };
+        }
+    }
+    RaceOutcome::Orphaned
+}
+
+/// Repeated inclusion races aggregated into a fairness report.
+#[derive(Clone, Debug)]
+pub struct InclusionRace {
+    fees_by_miner: BTreeMap<NodeId, u64>,
+    inclusion_delays: Vec<f64>,
+    orphaned: usize,
+    total: usize,
+}
+
+impl Default for InclusionRace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InclusionRace {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self {
+            fees_by_miner: BTreeMap::new(),
+            inclusion_delays: Vec::new(),
+            orphaned: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of races recorded so far.
+    pub fn races(&self) -> usize {
+        self.total
+    }
+
+    /// Runs one race and records its outcome.
+    pub fn run_once<R: Rng + ?Sized>(
+        &mut self,
+        metrics: &Metrics,
+        miners: &MinerSet,
+        config: RaceConfig,
+        rng: &mut R,
+    ) -> RaceOutcome {
+        let outcome = race_transaction(metrics, miners, config, rng);
+        self.total += 1;
+        match &outcome {
+            RaceOutcome::Included { miner, at, .. } => {
+                *self.fees_by_miner.entry(*miner).or_insert(0) += config.fee;
+                self.inclusion_delays.push(*at as f64);
+            }
+            RaceOutcome::Orphaned => self.orphaned += 1,
+        }
+        outcome
+    }
+
+    /// Aggregates the recorded races into a [`FairnessReport`] using the
+    /// miners' hash-rate shares as the fairness baseline.
+    pub fn report(&self, miners: &MinerSet) -> FairnessReport {
+        let shares: BTreeMap<NodeId, f64> = miners
+            .miners()
+            .iter()
+            .map(|m| (m.node, miners.hashrate_share(m.node)))
+            .collect();
+        FairnessReport::from_observations(
+            self.fees_by_miner.clone(),
+            &shares,
+            &self.inclusion_delays,
+            self.orphaned,
+            self.total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a metrics object in which miner `i` received the broadcast at
+    /// `times[i]` (None = never).
+    fn metrics_with_deliveries(times: &[Option<SimTime>]) -> Metrics {
+        let mut metrics = Metrics::new(times.len());
+        metrics.delivered_at = times.to_vec();
+        metrics
+    }
+
+    #[test]
+    fn an_instant_broadcast_is_perfectly_fair() {
+        let miners = MinerSet::uniform(4).unwrap();
+        let metrics = metrics_with_deliveries(&[Some(0), Some(0), Some(0), Some(0)]);
+        let mut race = InclusionRace::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            race.run_once(&metrics, &miners, RaceConfig::default(), &mut rng);
+        }
+        let report = race.report(&miners);
+        assert!(report.jain_index > 0.95, "jain = {}", report.jain_index);
+        assert_eq!(report.orphaned_fraction, 0.0);
+    }
+
+    #[test]
+    fn a_miner_that_never_hears_the_transaction_earns_nothing() {
+        let miners = MinerSet::uniform(3).unwrap();
+        let metrics = metrics_with_deliveries(&[Some(0), Some(0), None]);
+        let mut race = InclusionRace::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            race.run_once(&metrics, &miners, RaceConfig::default(), &mut rng);
+        }
+        let report = race.report(&miners);
+        assert_eq!(report.fees_by_miner.get(&NodeId::new(2)), None);
+        assert!(report.jain_index < 0.95);
+        assert!(report.gini > 0.0);
+    }
+
+    #[test]
+    fn nobody_knowing_the_transaction_orphans_it() {
+        let miners = MinerSet::uniform(2).unwrap();
+        let metrics = metrics_with_deliveries(&[None, None]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = race_transaction(&metrics, &miners, RaceConfig::default(), &mut rng);
+        assert_eq!(outcome, RaceOutcome::Orphaned);
+        assert_eq!(outcome.miner(), None);
+    }
+
+    #[test]
+    fn late_delivery_delays_inclusion() {
+        let miners = MinerSet::uniform(2).unwrap();
+        let config = RaceConfig {
+            mean_block_interval: 1_000,
+            ..RaceConfig::default()
+        };
+        let prompt = metrics_with_deliveries(&[Some(0), Some(0)]);
+        let late = metrics_with_deliveries(&[Some(50_000), Some(50_000)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut prompt_race = InclusionRace::new();
+        let mut late_race = InclusionRace::new();
+        for _ in 0..500 {
+            prompt_race.run_once(&prompt, &miners, config, &mut rng);
+            late_race.run_once(&late, &miners, config, &mut rng);
+        }
+        let prompt_delay = prompt_race.report(&miners).mean_inclusion_delay;
+        let late_delay = late_race.report(&miners).mean_inclusion_delay;
+        assert!(
+            late_delay > prompt_delay,
+            "late {late_delay} should exceed prompt {prompt_delay}"
+        );
+    }
+
+    #[test]
+    fn included_outcome_reports_the_block_count() {
+        let miners = MinerSet::uniform(1).unwrap();
+        let metrics = metrics_with_deliveries(&[Some(0)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        match race_transaction(&metrics, &miners, RaceConfig::default(), &mut rng) {
+            RaceOutcome::Included { miner, blocks_waited, at } => {
+                assert_eq!(miner, NodeId::new(0));
+                assert_eq!(blocks_waited, 1);
+                assert!(at >= 1);
+            }
+            RaceOutcome::Orphaned => panic!("the only miner knows the transaction"),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Configuration of the flexible privacy-preserving broadcast.
+//!
+//! The whole point of the paper is that the protocol is *adjustable*: the
+//! DC-net group size `k` buys a cryptographic anonymity floor at O(k²)
+//! message cost, and the adaptive-diffusion depth `d` buys statistical
+//! anonymity against cheaper attackers at extra dissemination latency.
+//! [`FlexConfig`] bundles those knobs together with the simulation pacing
+//! parameters.
+
+use fnp_diffusion::AlphaSchedule;
+use fnp_netsim::{SimTime, MILLISECOND};
+use std::fmt;
+
+/// How the initial phase-2 virtual source is chosen after the DC-net round.
+///
+/// The paper's construction (§IV-B) elects "the node whose hashed identity
+/// […] is closest to the hash of the message": message-free, verifiable by
+/// every group member, and independent of the originator. The ablation
+/// variant keeps the originator itself as the virtual source, which saves
+/// nothing in messages but re-introduces the correlation between the
+/// diffusion centre and the true sender — exactly the property the election
+/// exists to remove. The `abl1_vs_election` experiment quantifies the
+/// difference.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ElectionStrategy {
+    /// Hash-based election over the group (the paper's design).
+    #[default]
+    HashBased,
+    /// The originator keeps the virtual-source role (ablation baseline).
+    OriginatorAsSource,
+}
+
+impl fmt::Display for ElectionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElectionStrategy::HashBased => write!(f, "hash-based"),
+            ElectionStrategy::OriginatorAsSource => write!(f, "originator-as-source"),
+        }
+    }
+}
+
+/// Tunable parameters of the flexible broadcast protocol.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlexConfig {
+    /// Target DC-net group size `k` (the paper suggests values between four
+    /// and ten). Actual groups hold between `k` and `2k − 1` members.
+    pub k: usize,
+    /// Number of adaptive-diffusion rounds `d` before switching to
+    /// flood-and-prune, chosen relative to the network diameter.
+    pub d: u32,
+    /// Slot size (bytes) of the DC-net payload rounds.
+    pub slot_len: usize,
+    /// Virtual-source hand-off schedule used in phase 2.
+    pub schedule: AlphaSchedule,
+    /// Interval between DC-net rounds.
+    pub dc_round_interval: SimTime,
+    /// Interval between adaptive-diffusion rounds.
+    pub ad_round_interval: SimTime,
+    /// Number of DC-net rounds each group member participates in before
+    /// going quiet (bounds the simulation; real deployments run rounds
+    /// for as long as the group exists).
+    pub max_dc_rounds: u64,
+    /// How the initial virtual source is chosen after Phase 1 (ablation
+    /// knob; the paper's design is [`ElectionStrategy::HashBased`]).
+    pub election: ElectionStrategy,
+}
+
+impl Default for FlexConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            d: 4,
+            slot_len: 300,
+            schedule: AlphaSchedule::default(),
+            dc_round_interval: 500 * MILLISECOND,
+            ad_round_interval: 1_000 * MILLISECOND,
+            max_dc_rounds: 4,
+            election: ElectionStrategy::default(),
+        }
+    }
+}
+
+impl fmt::Display for FlexConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flexible(k={}, d={}, slot={}B, schedule={})",
+            self.k, self.d, self.slot_len, self.schedule
+        )
+    }
+}
+
+/// Errors raised when validating a [`FlexConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `k` must be at least 2 (the paper recommends 4–10).
+    GroupSizeTooSmall {
+        /// Offending `k`.
+        k: usize,
+    },
+    /// The DC slot must be able to carry at least one payload byte.
+    SlotTooSmall {
+        /// Offending slot size.
+        slot_len: usize,
+    },
+    /// At least one DC round is needed to transmit anything.
+    NoDcRounds,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::GroupSizeTooSmall { k } => {
+                write!(f, "group size k = {k} is too small; the DC-net needs at least 2 members")
+            }
+            ConfigError::SlotTooSmall { slot_len } => {
+                write!(f, "slot of {slot_len} bytes cannot carry any payload")
+            }
+            ConfigError::NoDcRounds => write!(f, "at least one DC-net round is required"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl FlexConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.k < 2 {
+            return Err(ConfigError::GroupSizeTooSmall { k: self.k });
+        }
+        if fnp_dcnet::slot::capacity(self.slot_len) == 0 {
+            return Err(ConfigError::SlotTooSmall {
+                slot_len: self.slot_len,
+            });
+        }
+        if self.max_dc_rounds == 0 {
+            return Err(ConfigError::NoDcRounds);
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with a different group size (builder-style helper for
+    /// parameter sweeps).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Returns a copy with a different diffusion depth.
+    pub fn with_d(mut self, d: u32) -> Self {
+        self.d = d;
+        self
+    }
+
+    /// Returns a copy with a different slot size.
+    pub fn with_slot_len(mut self, slot_len: usize) -> Self {
+        self.slot_len = slot_len;
+        self
+    }
+
+    /// Returns a copy with a different virtual-source election strategy.
+    pub fn with_election(mut self, election: ElectionStrategy) -> Self {
+        self.election = election;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_the_paper_range() {
+        let config = FlexConfig::default();
+        assert!(config.validate().is_ok());
+        assert!((4..=10).contains(&config.k), "paper suggests k between 4 and 10");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert_eq!(
+            FlexConfig::default().with_k(1).validate(),
+            Err(ConfigError::GroupSizeTooSmall { k: 1 })
+        );
+        assert_eq!(
+            FlexConfig::default().with_slot_len(4).validate(),
+            Err(ConfigError::SlotTooSmall { slot_len: 4 })
+        );
+        let mut config = FlexConfig::default();
+        config.max_dc_rounds = 0;
+        assert_eq!(config.validate(), Err(ConfigError::NoDcRounds));
+    }
+
+    #[test]
+    fn builder_helpers_replace_fields() {
+        let config = FlexConfig::default().with_k(8).with_d(6).with_slot_len(512);
+        assert_eq!(config.k, 8);
+        assert_eq!(config.d, 6);
+        assert_eq!(config.slot_len, 512);
+        assert_eq!(config.election, ElectionStrategy::HashBased);
+        let ablated = config.with_election(ElectionStrategy::OriginatorAsSource);
+        assert_eq!(ablated.election, ElectionStrategy::OriginatorAsSource);
+    }
+
+    #[test]
+    fn election_strategies_have_readable_names() {
+        assert_eq!(ElectionStrategy::HashBased.to_string(), "hash-based");
+        assert_eq!(
+            ElectionStrategy::OriginatorAsSource.to_string(),
+            "originator-as-source"
+        );
+    }
+
+    #[test]
+    fn display_mentions_both_knobs() {
+        let text = FlexConfig::default().to_string();
+        assert!(text.contains("k=5"));
+        assert!(text.contains("d=4"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ConfigError::GroupSizeTooSmall { k: 1 }.to_string().contains("k = 1"));
+        assert!(ConfigError::SlotTooSmall { slot_len: 2 }.to_string().contains("2"));
+        assert!(!ConfigError::NoDcRounds.to_string().is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! Experiment harness: setting up and running whole broadcasts.
+//!
+//! The harness owns everything that happens *around* the per-node state
+//! machines: forming the DC-net groups, deriving the pairwise keys,
+//! instantiating one [`FlexNode`] per overlay node, kicking off the
+//! broadcast and condensing the simulator metrics into a per-phase
+//! [`FlexReport`]. It also provides [`ProtocolKind`], a small abstraction
+//! that lets the comparison experiments (E1, E10) run all four
+//! dissemination strategies — flood, Dandelion, adaptive diffusion and the
+//! flexible protocol — through one call.
+
+use crate::config::FlexConfig;
+use crate::message::{PHASE1_KINDS, PHASE2_KINDS, PHASE3_KINDS};
+use crate::node::{FlexNode, GroupMembership};
+use fnp_crypto::dh::{KeyPair, PublicKey};
+use fnp_crypto::identity::Identity;
+use fnp_dcnet::keyed::KeyedParticipant;
+use fnp_diffusion::{AdParams, AdaptiveDiffusionNode};
+use fnp_gossip::{DandelionParams, StemLine};
+use fnp_groups::{form_groups, FormationError, Group};
+use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Result of one flexible-protocol broadcast.
+#[derive(Clone, Debug)]
+pub struct FlexReport {
+    /// Raw simulator metrics.
+    pub metrics: Metrics,
+    /// The members of the originator's DC-net group.
+    pub origin_group: Vec<NodeId>,
+    /// Messages sent in phase 1 (DC-net).
+    pub phase1_messages: u64,
+    /// Messages sent in phase 2 (adaptive diffusion, incl. the final spread).
+    pub phase2_messages: u64,
+    /// Messages sent in phase 3 (flood and prune).
+    pub phase3_messages: u64,
+    /// Bytes sent in phase 1.
+    pub phase1_bytes: u64,
+    /// Bytes sent in phase 2.
+    pub phase2_bytes: u64,
+    /// Bytes sent in phase 3.
+    pub phase3_bytes: u64,
+}
+
+impl FlexReport {
+    fn from_metrics(metrics: Metrics, origin_group: Vec<NodeId>) -> Self {
+        let sum_messages = |kinds: &[&str]| kinds.iter().map(|k| metrics.messages_of_kind(k)).sum();
+        let sum_bytes = |kinds: &[&str]| {
+            kinds
+                .iter()
+                .map(|k| metrics.bytes_by_kind.get(*k).copied().unwrap_or(0))
+                .sum()
+        };
+        Self {
+            phase1_messages: sum_messages(PHASE1_KINDS),
+            phase2_messages: sum_messages(PHASE2_KINDS),
+            phase3_messages: sum_messages(PHASE3_KINDS),
+            phase1_bytes: sum_bytes(PHASE1_KINDS),
+            phase2_bytes: sum_bytes(PHASE2_KINDS),
+            phase3_bytes: sum_bytes(PHASE3_KINDS),
+            origin_group,
+            metrics,
+        }
+    }
+
+    /// Fraction of nodes that received the transaction.
+    pub fn coverage(&self) -> f64 {
+        self.metrics.coverage()
+    }
+
+    /// Total messages across all phases.
+    pub fn total_messages(&self) -> u64 {
+        self.metrics.messages_sent
+    }
+}
+
+/// Errors raised while setting up a flexible broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HarnessError {
+    /// The protocol configuration is invalid.
+    Config(crate::config::ConfigError),
+    /// DC-net groups could not be formed over the overlay.
+    Formation(FormationError),
+    /// The requested origin node does not exist in the overlay.
+    OriginOutOfRange {
+        /// The requested origin.
+        origin: NodeId,
+        /// Number of overlay nodes.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Config(inner) => write!(f, "{inner}"),
+            HarnessError::Formation(inner) => write!(f, "{inner}"),
+            HarnessError::OriginOutOfRange { origin, nodes } => {
+                write!(f, "origin {origin} outside overlay of {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<crate::config::ConfigError> for HarnessError {
+    fn from(value: crate::config::ConfigError) -> Self {
+        HarnessError::Config(value)
+    }
+}
+
+impl From<FormationError> for HarnessError {
+    fn from(value: FormationError) -> Self {
+        HarnessError::Formation(value)
+    }
+}
+
+/// Derives the deterministic long-term key pair of an overlay node.
+///
+/// Real deployments would generate keys independently; deriving them from
+/// the node index keeps experiments reproducible without changing any of
+/// the protocol logic (the pads still cancel, the election still works).
+pub fn node_key_pair(node: NodeId, key_seed: u64) -> KeyPair {
+    KeyPair::from_secret(key_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (node.index() as u64 + 1))
+}
+
+/// Builds the [`GroupMembership`] handed to each member of `group`.
+fn build_memberships(group: &Group, key_seed: u64) -> Vec<(NodeId, GroupMembership)> {
+    let members = group.member_vec();
+    let identities: Vec<Identity> = members
+        .iter()
+        .map(|node| Identity::from_node_index(node.index()))
+        .collect();
+    let key_pairs: Vec<KeyPair> = members
+        .iter()
+        .map(|node| node_key_pair(*node, key_seed))
+        .collect();
+    let public_keys: Vec<PublicKey> = key_pairs.iter().map(KeyPair::public_key).collect();
+
+    members
+        .iter()
+        .enumerate()
+        .map(|(own_index, node)| {
+            let participant = KeyedParticipant::new(own_index, &key_pairs[own_index], &public_keys)
+                .expect("groups always have at least k >= 2 members");
+            (
+                *node,
+                GroupMembership {
+                    members: members.clone(),
+                    own_index,
+                    identities: identities.clone(),
+                    participant,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Sets up and runs one flexible-protocol broadcast of `payload` from
+/// `origin` over `graph`.
+///
+/// The overlay is partitioned into DC-net groups of size `config.k` to
+/// `2·config.k − 1`; every node participates in exactly one group. The
+/// broadcast is traced so that adversary estimators can replay it.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] if the configuration is invalid, the origin
+/// is out of range or groups cannot be formed (network smaller than `k`).
+pub fn run_flexible_broadcast(
+    graph: Graph,
+    origin: NodeId,
+    payload: Vec<u8>,
+    config: FlexConfig,
+    sim_config: SimConfig,
+) -> Result<FlexReport, HarnessError> {
+    config.validate()?;
+    let n = graph.node_count();
+    if origin.index() >= n {
+        return Err(HarnessError::OriginOutOfRange { origin, nodes: n });
+    }
+
+    let mut setup_rng = StdRng::seed_from_u64(sim_config.seed ^ 0xD1F7_BEEF);
+    let all_nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let groups = form_groups(&all_nodes, config.k, &mut setup_rng)?;
+
+    // Build one membership object per node.
+    let mut memberships: Vec<Option<GroupMembership>> = (0..n).map(|_| None).collect();
+    let mut origin_group = Vec::new();
+    for group in &groups {
+        if group.contains(origin) {
+            origin_group = group.member_vec();
+        }
+        for (node, membership) in build_memberships(group, sim_config.seed) {
+            memberships[node.index()] = Some(membership);
+        }
+    }
+
+    let nodes: Vec<FlexNode> = memberships
+        .into_iter()
+        .map(|membership| FlexNode::new(config, membership))
+        .collect();
+
+    let mut traced_config = sim_config;
+    traced_config.record_trace = true;
+    let mut sim = Simulator::new(graph, nodes, traced_config);
+    sim.trigger(origin, |node, ctx| node.start_broadcast(payload.clone(), ctx));
+    sim.run();
+    let (_, metrics) = sim.into_parts();
+    Ok(FlexReport::from_metrics(metrics, origin_group))
+}
+
+/// The four dissemination strategies the experiments compare.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProtocolKind {
+    /// Plain flood-and-prune (no privacy).
+    Flood,
+    /// Dandelion stem/fluff.
+    Dandelion(DandelionParams),
+    /// Adaptive diffusion run to full dissemination.
+    AdaptiveDiffusion(AdParams),
+    /// The paper's flexible three-phase protocol.
+    Flexible(FlexConfig),
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolKind::Flood => write!(f, "flood"),
+            ProtocolKind::Dandelion(_) => write!(f, "dandelion"),
+            ProtocolKind::AdaptiveDiffusion(_) => write!(f, "adaptive-diffusion"),
+            ProtocolKind::Flexible(config) => write!(f, "{config}"),
+        }
+    }
+}
+
+/// Runs one broadcast of `kind` from `origin` over `graph` and returns the
+/// simulator metrics (with tracing enabled, so adversary estimators can be
+/// applied to the result).
+///
+/// # Errors
+///
+/// Only [`ProtocolKind::Flexible`] can fail (invalid config / group
+/// formation); the baselines always succeed.
+pub fn run_protocol(
+    kind: ProtocolKind,
+    graph: Graph,
+    origin: NodeId,
+    sim_config: SimConfig,
+) -> Result<Metrics, HarnessError> {
+    let mut traced = sim_config;
+    traced.record_trace = true;
+    match kind {
+        ProtocolKind::Flood => Ok(fnp_gossip::run_flood(graph, origin, 1, traced)),
+        ProtocolKind::Dandelion(params) => {
+            let mut rng = StdRng::seed_from_u64(traced.seed ^ 0xDA4D_E110_u64);
+            let line = StemLine::random(graph.node_count(), &mut rng);
+            Ok(fnp_gossip::run_dandelion(graph, &line, origin, 1, params, traced).metrics)
+        }
+        ProtocolKind::AdaptiveDiffusion(params) => {
+            let node_count = graph.node_count();
+            let nodes: Vec<AdaptiveDiffusionNode> =
+                (0..node_count).map(|_| AdaptiveDiffusionNode::new(params)).collect();
+            let mut sim = Simulator::new(graph, nodes, traced);
+            sim.trigger(origin, |node, ctx| node.start_broadcast(ctx));
+            sim.run();
+            let (_, metrics) = sim.into_parts();
+            Ok(metrics)
+        }
+        ProtocolKind::Flexible(config) => {
+            let payload = b"flexible broadcast payload".to_vec();
+            run_flexible_broadcast(graph, origin, payload, config, traced).map(|report| report.metrics)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnp_netsim::topology;
+
+    fn overlay(n: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        topology::random_regular(n, 8, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn flexible_broadcast_reaches_every_node() {
+        let graph = overlay(200, 1);
+        let report = run_flexible_broadcast(
+            graph,
+            NodeId::new(17),
+            b"pay 3 tokens to bob".to_vec(),
+            FlexConfig::default(),
+            SimConfig { seed: 1, ..SimConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(report.coverage(), 1.0, "metrics: {:?}", report.metrics.counters);
+        // All three phases actually ran.
+        assert!(report.phase1_messages > 0, "phase 1 silent");
+        assert!(report.phase2_messages > 0, "phase 2 silent");
+        assert!(report.phase3_messages > 0, "phase 3 silent");
+        assert_eq!(report.metrics.counter("flex-elected-vs"), 1);
+        assert!(report.origin_group.contains(&NodeId::new(17)));
+        assert!(report.origin_group.len() >= FlexConfig::default().k);
+    }
+
+    #[test]
+    fn dc_phase_cost_scales_quadratically_with_k() {
+        let graph = overlay(120, 2);
+        let run = |k: usize| {
+            run_flexible_broadcast(
+                graph.clone(),
+                NodeId::new(0),
+                b"tx".to_vec(),
+                FlexConfig::default().with_k(k),
+                SimConfig { seed: 2, ..SimConfig::default() },
+            )
+            .unwrap()
+            .phase1_messages
+        };
+        let small = run(4);
+        let large = run(8);
+        // Phase-1 cost grows superlinearly in k (quadratic per round, and the
+        // group absorbs more rounds); allow a generous band around 4×.
+        assert!(large > 2 * small, "k=4: {small}, k=8: {large}");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let graph = overlay(50, 3);
+        let err = run_flexible_broadcast(
+            graph.clone(),
+            NodeId::new(0),
+            b"tx".to_vec(),
+            FlexConfig::default().with_k(1),
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HarnessError::Config(_)));
+
+        let err = run_flexible_broadcast(
+            graph.clone(),
+            NodeId::new(999),
+            b"tx".to_vec(),
+            FlexConfig::default(),
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HarnessError::OriginOutOfRange { .. }));
+
+        // Network smaller than k.
+        let tiny = topology::complete(3).unwrap();
+        let err = run_flexible_broadcast(
+            tiny,
+            NodeId::new(0),
+            b"tx".to_vec(),
+            FlexConfig::default().with_k(5),
+            SimConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HarnessError::Formation(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn all_protocol_kinds_deliver_everywhere() {
+        let graph = overlay(150, 4);
+        let kinds = [
+            ProtocolKind::Flood,
+            ProtocolKind::Dandelion(DandelionParams::default()),
+            ProtocolKind::AdaptiveDiffusion(AdParams { max_rounds: 64, ..AdParams::default() }),
+            ProtocolKind::Flexible(FlexConfig::default()),
+        ];
+        for kind in kinds {
+            let metrics = run_protocol(kind, graph.clone(), NodeId::new(5), SimConfig { seed: 4, ..SimConfig::default() })
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(metrics.coverage(), 1.0, "{kind} did not reach everyone");
+            assert!(!metrics.trace.is_empty(), "{kind} should be traced");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let graph = overlay(100, 5);
+        let run = || {
+            run_flexible_broadcast(
+                graph.clone(),
+                NodeId::new(3),
+                b"tx".to_vec(),
+                FlexConfig::default(),
+                SimConfig { seed: 77, ..SimConfig::default() },
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_messages(), b.total_messages());
+        assert_eq!(a.metrics.delivered_at, b.metrics.delivered_at);
+        assert_eq!(a.origin_group, b.origin_group);
+    }
+
+    #[test]
+    fn node_key_pairs_are_deterministic_and_distinct() {
+        let a = node_key_pair(NodeId::new(1), 7);
+        let b = node_key_pair(NodeId::new(1), 7);
+        let c = node_key_pair(NodeId::new(2), 7);
+        assert_eq!(a.public_key(), b.public_key());
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn protocol_kind_display() {
+        assert_eq!(ProtocolKind::Flood.to_string(), "flood");
+        assert!(ProtocolKind::Flexible(FlexConfig::default()).to_string().contains("k=5"));
+    }
+}

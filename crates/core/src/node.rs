@@ -1,0 +1,648 @@
+//! The per-node state machine of the flexible three-phase broadcast.
+//!
+//! A [`FlexNode`] implements the protocol of §IV-B:
+//!
+//! 1. **DC-net phase.** All members of the node's DC-net group run periodic
+//!    keyed dining-cryptographers rounds (one padded contribution per member
+//!    per round, full mesh). The originator injects its transaction into a
+//!    round; afterwards every group member knows the transaction but not who
+//!    sent it. Collisions (two members injecting in the same round) are
+//!    detected via the CRC framing and resolved by randomised back-off.
+//! 2. **Adaptive diffusion for `d` rounds.** The group member whose hashed
+//!    identity is closest to the hash of the transaction becomes the initial
+//!    virtual source — a decision every member reaches independently from
+//!    public data, so the transition costs no messages and is verifiable.
+//!    The virtual source then runs adaptive diffusion: spread waves grow the
+//!    infected subgraph while the token performs its randomised walk away
+//!    from the group.
+//! 3. **Flood-and-prune.** When the round counter carried with the token
+//!    reaches `d`, the final virtual source issues a *final spread request*
+//!    that propagates through the infected subgraph and switches every
+//!    recipient to ordinary flood-and-prune, which guarantees delivery to
+//!    all remaining nodes.
+
+use crate::config::FlexConfig;
+use crate::message::FlexMessage;
+use fnp_crypto::identity::{elect_virtual_source_index, Identity};
+use fnp_crypto::sha256::Sha256;
+use fnp_dcnet::keyed::{combine_contributions, KeyedParticipant};
+use fnp_dcnet::slot::SlotOutcome;
+use fnp_netsim::{Context, NodeId, ProtocolNode};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Timer tag for DC-net round pacing.
+const TIMER_DC_ROUND: u64 = 1;
+/// Timer tag for adaptive-diffusion round pacing.
+const TIMER_AD_ROUND: u64 = 2;
+
+/// Static description of the DC-net group a node belongs to.
+#[derive(Debug)]
+pub struct GroupMembership {
+    /// The group members' overlay node ids, sorted ascending.
+    pub members: Vec<NodeId>,
+    /// This node's index within `members`.
+    pub own_index: usize,
+    /// The members' public identities (same order as `members`), used for
+    /// the virtual-source election.
+    pub identities: Vec<Identity>,
+    /// The keyed DC-net participant holding the pairwise pad generators.
+    pub participant: KeyedParticipant,
+}
+
+/// State of the phase-1 DC-net engine on one node.
+#[derive(Debug, Default)]
+struct DcState {
+    /// Payload waiting to be injected into a round.
+    pending_payload: Option<Vec<u8>>,
+    /// Whether the pending payload should skip the next round (collision
+    /// back-off).
+    backoff: bool,
+    /// Round number of the next round this node will start.
+    next_round: u64,
+    /// Rounds this node has participated in so far.
+    rounds_started: u64,
+    /// Contributions received per round, keyed by round → member index.
+    received: BTreeMap<u64, BTreeMap<usize, Vec<u8>>>,
+    /// Rounds whose outcome has already been resolved.
+    resolved: BTreeMap<u64, SlotOutcome>,
+    /// Whether this node injected its payload into the given round.
+    injected_in: Option<u64>,
+}
+
+/// Phase-2 infection state.
+#[derive(Debug, Default, Clone)]
+struct AdState {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    token: Option<AdToken>,
+    last_spread_round: Option<u32>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AdToken {
+    t: u32,
+    h: u32,
+    round: u32,
+    received_from: Option<NodeId>,
+}
+
+/// A node running the flexible three-phase broadcast protocol.
+#[derive(Debug)]
+pub struct FlexNode {
+    config: FlexConfig,
+    group: Option<GroupMembership>,
+    dc: DcState,
+    /// The transaction payload once this node knows it.
+    payload: Option<Vec<u8>>,
+    ad: AdState,
+    /// True once this node has started flood-and-prune relaying.
+    flooding: bool,
+    /// True if this node originated the broadcast.
+    is_origin: bool,
+}
+
+impl FlexNode {
+    /// Creates a node. `group` is `None` for nodes that are not part of any
+    /// DC-net group in this experiment (they still relay phases 2 and 3).
+    pub fn new(config: FlexConfig, group: Option<GroupMembership>) -> Self {
+        Self {
+            config,
+            group,
+            dc: DcState::default(),
+            payload: None,
+            ad: AdState::default(),
+            flooding: false,
+            is_origin: false,
+        }
+    }
+
+    /// Whether this node has learned the transaction.
+    pub fn has_payload(&self) -> bool {
+        self.payload.is_some()
+    }
+
+    /// Whether this node originated the broadcast.
+    pub fn is_origin(&self) -> bool {
+        self.is_origin
+    }
+
+    /// Whether this node currently holds the phase-2 virtual-source token.
+    pub fn holds_token(&self) -> bool {
+        self.ad.token.is_some()
+    }
+
+    /// Whether this node has switched to flood-and-prune relaying.
+    pub fn is_flooding(&self) -> bool {
+        self.flooding
+    }
+
+    /// The node's group members (empty if it belongs to no group).
+    pub fn group_members(&self) -> &[NodeId] {
+        self.group
+            .as_ref()
+            .map(|group| group.members.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Queues `payload` for anonymous broadcast from this node.
+    ///
+    /// Call through [`fnp_netsim::Simulator::trigger`]. The payload is
+    /// injected into the next DC-net round of the node's group; if the node
+    /// belongs to no group it falls back to flood-and-prune directly (no
+    /// anonymity, but delivery is preserved).
+    pub fn start_broadcast(&mut self, payload: Vec<u8>, ctx: &mut Context<'_, FlexMessage>) {
+        self.is_origin = true;
+        self.payload = Some(payload.clone());
+        self.deliver(ctx);
+        if self.group.is_some() {
+            ctx.record("flex-origin-queued");
+            self.dc.pending_payload = Some(payload);
+        } else {
+            // Degenerate fallback: no group, no anonymity — flood directly.
+            ctx.record("flex-origin-no-group");
+            self.start_flooding(ctx, None);
+        }
+    }
+
+    fn deliver(&mut self, ctx: &mut Context<'_, FlexMessage>) {
+        ctx.mark_delivered();
+    }
+
+    /// Learns the payload (idempotent).
+    fn learn_payload(&mut self, payload: &[u8], ctx: &mut Context<'_, FlexMessage>) -> bool {
+        if self.payload.is_some() {
+            return false;
+        }
+        self.payload = Some(payload.to_vec());
+        self.deliver(ctx);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: DC-net rounds
+    // ------------------------------------------------------------------
+
+    /// Starts the next DC-net round: computes this node's contribution and
+    /// sends it to every other group member.
+    fn run_dc_round(&mut self, ctx: &mut Context<'_, FlexMessage>) {
+        let Some(group) = self.group.as_mut() else {
+            return;
+        };
+        if self.dc.rounds_started >= self.config.max_dc_rounds {
+            return;
+        }
+        let round = self.dc.next_round;
+        self.dc.next_round += 1;
+        self.dc.rounds_started += 1;
+
+        // Decide whether to inject the pending payload this round.
+        let inject = match (&self.dc.pending_payload, self.dc.backoff) {
+            (Some(_), false) => true,
+            (Some(_), true) => {
+                // Skip one round, then become eligible again.
+                self.dc.backoff = false;
+                false
+            }
+            (None, _) => false,
+        };
+        let payload = if inject {
+            self.dc.injected_in = Some(round);
+            self.dc.pending_payload.clone()
+        } else {
+            None
+        };
+
+        let contribution = group
+            .participant
+            .contribution(round, self.config.slot_len, payload.as_deref())
+            .expect("slot length validated by FlexConfig::validate");
+
+        // Record our own contribution and send to every other member.
+        self.dc
+            .received
+            .entry(round)
+            .or_default()
+            .insert(group.own_index, contribution.clone());
+        let own_index = group.own_index;
+        let members = group.members.clone();
+        for (index, member) in members.iter().enumerate() {
+            if index == own_index {
+                continue;
+            }
+            ctx.send(
+                *member,
+                FlexMessage::DcContribution {
+                    round,
+                    member_index: own_index,
+                    data: contribution.clone(),
+                },
+            );
+        }
+        ctx.record("flex-dc-rounds");
+
+        // Schedule the next round while the budget lasts.
+        if self.dc.rounds_started < self.config.max_dc_rounds {
+            ctx.set_timer(self.config.dc_round_interval, TIMER_DC_ROUND);
+        }
+        self.try_resolve_round(round, ctx);
+    }
+
+    /// Stores a received contribution and resolves the round once complete.
+    fn on_dc_contribution(
+        &mut self,
+        round: u64,
+        member_index: usize,
+        data: Vec<u8>,
+        ctx: &mut Context<'_, FlexMessage>,
+    ) {
+        let Some(group) = self.group.as_ref() else {
+            return;
+        };
+        if member_index >= group.members.len() || data.len() != self.config.slot_len {
+            ctx.record("flex-dc-malformed");
+            return;
+        }
+        self.dc
+            .received
+            .entry(round)
+            .or_default()
+            .insert(member_index, data);
+        self.try_resolve_round(round, ctx);
+    }
+
+    /// Combines a round once all contributions are present.
+    fn try_resolve_round(&mut self, round: u64, ctx: &mut Context<'_, FlexMessage>) {
+        let Some(group) = self.group.as_ref() else {
+            return;
+        };
+        if self.dc.resolved.contains_key(&round) {
+            return;
+        }
+        let Some(contributions) = self.dc.received.get(&round) else {
+            return;
+        };
+        if contributions.len() < group.members.len() {
+            return;
+        }
+        let ordered: Vec<Vec<u8>> = contributions.values().cloned().collect();
+        let outcome = combine_contributions(&ordered).unwrap_or(SlotOutcome::Collision);
+        self.dc.resolved.insert(round, outcome.clone());
+
+        match outcome {
+            SlotOutcome::Silence => {
+                ctx.record("flex-dc-silent-rounds");
+            }
+            SlotOutcome::Collision => {
+                ctx.record("flex-dc-collisions");
+                // If we injected into this round, back off for one round and
+                // retry (the payload stays pending).
+                if self.dc.injected_in == Some(round) && ctx.rng().gen_bool(0.5) {
+                    self.dc.backoff = true;
+                }
+                self.dc.injected_in = None;
+            }
+            SlotOutcome::Message(message) => {
+                ctx.record("flex-dc-delivered-rounds");
+                // The round succeeded; if it was ours, the payload is on its way.
+                if self.dc.injected_in == Some(round) {
+                    if self.dc.pending_payload.as_deref() == Some(message.as_slice()) {
+                        self.dc.pending_payload = None;
+                    }
+                    self.dc.injected_in = None;
+                }
+                self.learn_payload(&message, ctx);
+                self.maybe_become_virtual_source(&message, ctx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transition 1 → 2: hash-based virtual-source election
+    // ------------------------------------------------------------------
+
+    /// Every group member evaluates the election; only the winner acts.
+    fn maybe_become_virtual_source(&mut self, message: &[u8], ctx: &mut Context<'_, FlexMessage>) {
+        let Some(group) = self.group.as_ref() else {
+            return;
+        };
+        let is_winner = match self.config.election {
+            crate::config::ElectionStrategy::HashBased => {
+                let digest = Sha256::digest(message);
+                let Some(elected) = elect_virtual_source_index(&group.identities, &digest) else {
+                    return;
+                };
+                ctx.record("flex-elections");
+                elected == group.own_index
+            }
+            // Ablation baseline: skip the election and keep the originator as
+            // the virtual source (only the originator knows it qualifies).
+            crate::config::ElectionStrategy::OriginatorAsSource => {
+                ctx.record("flex-elections");
+                self.is_origin
+            }
+        };
+        if !is_winner {
+            return;
+        }
+        ctx.record("flex-elected-vs");
+
+        // The elected member becomes the initial virtual source. The other
+        // group members already know the transaction (via the DC-net), so
+        // they become its first diffusion children: spread waves and the
+        // eventual final-spread request flow through them.
+        let own_index = group.own_index;
+        let children: Vec<NodeId> = group
+            .members
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| *index != own_index)
+            .map(|(_, node)| *node)
+            .collect();
+        self.ad.parent = None;
+        self.ad.children = children;
+        self.ad.token = Some(AdToken {
+            t: 2,
+            h: 1,
+            round: 0,
+            received_from: None,
+        });
+        self.ad.last_spread_round = Some(0);
+
+        // Immediately run the first diffusion expansion around the group,
+        // then pace further rounds with the timer.
+        self.grow_frontier(0, &[], ctx);
+        self.forward_spread(0, &[], ctx);
+        ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: adaptive diffusion
+    // ------------------------------------------------------------------
+
+    fn payload_clone(&self) -> Vec<u8> {
+        self.payload.clone().unwrap_or_default()
+    }
+
+    /// Sends infections to neighbours that are neither parent nor children.
+    fn grow_frontier(&mut self, round: u32, excluded: &[NodeId], ctx: &mut Context<'_, FlexMessage>) {
+        if self.flooding {
+            return;
+        }
+        let payload = self.payload_clone();
+        let parent = self.ad.parent;
+        let targets: Vec<NodeId> = ctx
+            .neighbors()
+            .iter()
+            .copied()
+            .filter(|n| {
+                Some(*n) != parent && !self.ad.children.contains(n) && !excluded.contains(n)
+            })
+            .collect();
+        for target in targets {
+            ctx.send(
+                target,
+                FlexMessage::AdInfect {
+                    round,
+                    payload: payload.clone(),
+                },
+            );
+            self.ad.children.push(target);
+        }
+    }
+
+    /// Forwards a spread wave to the diffusion children.
+    fn forward_spread(&self, round: u32, excluded: &[NodeId], ctx: &mut Context<'_, FlexMessage>) {
+        for &child in &self.ad.children {
+            if !excluded.contains(&child) {
+                ctx.send(child, FlexMessage::AdSpread { round });
+            }
+        }
+    }
+
+    /// One virtual-source round: keep-and-spread, pass, or — once the round
+    /// counter reaches `d` — trigger the switch to phase 3.
+    fn run_ad_round(&mut self, ctx: &mut Context<'_, FlexMessage>) {
+        let Some(mut token) = self.ad.token.take() else {
+            return;
+        };
+        if self.flooding {
+            return;
+        }
+        token.t += 2;
+        token.round += 1;
+        ctx.record("flex-ad-rounds");
+
+        if token.round > self.config.d {
+            // Transition 2 → 3: the final virtual source sends the last
+            // spread request, which doubles as the switch-to-flood signal.
+            ctx.record("flex-switch-to-flood");
+            self.ad.token = Some(token);
+            let payload = self.payload_clone();
+            for child in self.ad.children.clone() {
+                ctx.send(child, FlexMessage::FinalSpread { payload: payload.clone() });
+            }
+            self.start_flooding(ctx, None);
+            return;
+        }
+
+        let keep = ctx
+            .rng()
+            .gen_bool(self.config.schedule.keep_probability(token.t, token.h));
+        if keep {
+            ctx.record("flex-ad-keep");
+            let round = token.round;
+            self.ad.last_spread_round = Some(round);
+            self.ad.token = Some(token);
+            self.forward_spread(round, &[], ctx);
+            self.grow_frontier(round, &[], ctx);
+            ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+        } else {
+            ctx.record("flex-ad-pass");
+            let received_from = token.received_from;
+            let candidates: Vec<NodeId> = ctx
+                .neighbors()
+                .iter()
+                .copied()
+                .filter(|n| Some(*n) != received_from)
+                .collect();
+            if candidates.is_empty() {
+                let round = token.round;
+                self.ad.last_spread_round = Some(round);
+                self.ad.token = Some(token);
+                self.forward_spread(round, &[], ctx);
+                self.grow_frontier(round, &[], ctx);
+                ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+                return;
+            }
+            let next = candidates[ctx.rng().gen_range(0..candidates.len())];
+            if !self.ad.children.contains(&next) && self.ad.parent != Some(next) {
+                ctx.send(
+                    next,
+                    FlexMessage::AdInfect {
+                        round: token.round,
+                        payload: self.payload_clone(),
+                    },
+                );
+                self.ad.children.push(next);
+            }
+            ctx.send(
+                next,
+                FlexMessage::AdToken {
+                    t: token.t,
+                    h: token.h + 1,
+                    round: token.round,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: flood and prune
+    // ------------------------------------------------------------------
+
+    /// Switches this node to flood-and-prune and relays the transaction to
+    /// its overlay neighbours (except `exclude`).
+    fn start_flooding(&mut self, ctx: &mut Context<'_, FlexMessage>, exclude: Option<NodeId>) {
+        if self.flooding {
+            return;
+        }
+        self.flooding = true;
+        let payload = self.payload_clone();
+        let excluded: Vec<NodeId> = exclude.into_iter().collect();
+        ctx.send_to_neighbors_except(FlexMessage::Flood { payload }, &excluded);
+    }
+}
+
+impl ProtocolNode for FlexNode {
+    type Message = FlexMessage;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, FlexMessage>) {
+        // Group members pace their periodic DC-net rounds from the start of
+        // the simulation; a small deterministic stagger is unnecessary
+        // because round numbers are carried explicitly.
+        if self.group.is_some() {
+            ctx.set_timer(self.config.dc_round_interval, TIMER_DC_ROUND);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, message: FlexMessage, ctx: &mut Context<'_, FlexMessage>) {
+        match message {
+            FlexMessage::DcContribution { round, member_index, data } => {
+                self.on_dc_contribution(round, member_index, data, ctx);
+            }
+            FlexMessage::AdInfect { round, payload } => {
+                if self.learn_payload(&payload, ctx) {
+                    self.ad.parent = Some(from);
+                }
+            // Note: an already-informed node ignores repeated infections.
+                let _ = round;
+            }
+            FlexMessage::AdSpread { round } => {
+                if self.payload.is_none() {
+                    // A spread instruction without the payload can only be
+                    // acted upon once the payload arrives; drop it (the next
+                    // wave will reach us again through our future parent).
+                    ctx.record("flex-spread-before-payload");
+                    return;
+                }
+                if self.flooding {
+                    return;
+                }
+                if self.ad.last_spread_round.is_some_and(|seen| seen >= round) {
+                    return;
+                }
+                self.ad.last_spread_round = Some(round);
+                self.forward_spread(round, &[from], ctx);
+                self.grow_frontier(round, &[from], ctx);
+            }
+            FlexMessage::AdToken { t, h, round } => {
+                // The token always follows an infection, so the payload is
+                // normally known by now.
+                if self.payload.is_none() {
+                    ctx.record("flex-token-before-payload");
+                }
+                self.ad.token = Some(AdToken {
+                    t,
+                    h,
+                    round,
+                    received_from: Some(from),
+                });
+                self.ad.last_spread_round = Some(round);
+                self.forward_spread(round, &[from], ctx);
+                self.grow_frontier(round, &[from], ctx);
+                ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+            }
+            FlexMessage::FinalSpread { payload } => {
+                self.learn_payload(&payload, ctx);
+                if self.flooding {
+                    // Already switched: the signal has been handled (and the
+                    // diffusion "children" relation may contain cycles, so
+                    // forwarding again could circulate the request forever).
+                    return;
+                }
+                // Forward the switch signal through the diffusion subtree,
+                // then start flooding ourselves.
+                let forwarded = payload.clone();
+                for child in self.ad.children.clone() {
+                    if child != from {
+                        ctx.send(child, FlexMessage::FinalSpread { payload: forwarded.clone() });
+                    }
+                }
+                self.start_flooding(ctx, Some(from));
+            }
+            FlexMessage::Flood { payload } => {
+                let newly_learned = self.learn_payload(&payload, ctx);
+                if !self.flooding {
+                    self.start_flooding(ctx, Some(from));
+                } else if newly_learned {
+                    // Already counted as flooding (e.g. group fallback); nothing to do.
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, FlexMessage>) {
+        match tag {
+            TIMER_DC_ROUND => self.run_dc_round(ctx),
+            TIMER_AD_ROUND => self.run_ad_round(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_without_group_floods_directly() {
+        use fnp_netsim::{topology, SimConfig, Simulator};
+        let graph = topology::ring(10).unwrap();
+        let nodes = (0..10)
+            .map(|_| FlexNode::new(FlexConfig::default(), None))
+            .collect();
+        let mut sim = Simulator::new(graph, nodes, SimConfig::default());
+        sim.trigger(NodeId::new(0), |node, ctx| {
+            node.start_broadcast(b"tx".to_vec(), ctx)
+        });
+        let metrics = sim.run();
+        assert_eq!(metrics.coverage(), 1.0);
+        assert_eq!(metrics.counter("flex-origin-no-group"), 1);
+        assert!(metrics.messages_of_kind("flex-flood") > 0);
+        assert_eq!(metrics.messages_of_kind("flex-dc"), 0);
+    }
+
+    #[test]
+    fn accessors_on_a_fresh_node() {
+        let node = FlexNode::new(FlexConfig::default(), None);
+        assert!(!node.has_payload());
+        assert!(!node.is_origin());
+        assert!(!node.holds_token());
+        assert!(!node.is_flooding());
+        assert!(node.group_members().is_empty());
+    }
+
+    // End-to-end behaviour with groups is exercised by the harness tests in
+    // `crate::harness` and the cross-crate integration tests.
+}

@@ -1,0 +1,178 @@
+//! CRC-32 (IEEE 802.3 polynomial) checksums.
+//!
+//! The paper's DC-net construction (Fig. 4) notes that "message[s] should
+//! carry CRC bits or a similar protection" so that *collisions* — two group
+//! members transmitting in the same round — are detected: the XOR of two
+//! valid messages almost never carries a valid checksum. The same protection
+//! guards the 32-bit length announcements of the reservation optimisation
+//! (§V-A).
+//!
+//! # Examples
+//!
+//! ```
+//! use fnp_crypto::crc32::crc32;
+//!
+//! assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+//! ```
+
+/// The reversed IEEE 802.3 polynomial.
+const POLYNOMIAL: u32 = 0xEDB8_8320;
+
+/// Computes the lookup table at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ POLYNOMIAL
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Incremental CRC-32 computation.
+#[derive(Clone, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a new CRC computation in the initial state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        for &byte in data {
+            let index = ((self.state ^ byte as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ table[index];
+        }
+    }
+
+    /// Finishes the computation and returns the checksum.
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+/// Appends a little-endian CRC-32 trailer to `payload`.
+///
+/// This is the framing used by DC-net slots: the slot content is
+/// `payload || crc32(payload)`, allowing any group member to detect that a
+/// recovered slot is garbled (most likely by a collision).
+pub fn append_crc(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(payload.len() + 4);
+    framed.extend_from_slice(payload);
+    framed.extend_from_slice(&crc32(payload).to_le_bytes());
+    framed
+}
+
+/// Verifies and strips a little-endian CRC-32 trailer.
+///
+/// Returns the payload without the trailer if the checksum matches, `None`
+/// otherwise (including when the input is shorter than four bytes).
+pub fn verify_and_strip_crc(framed: &[u8]) -> Option<&[u8]> {
+    if framed.len() < 4 {
+        return None;
+    }
+    let (payload, trailer) = framed.split_at(framed.len() - 4);
+    let expected = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(payload) == expected {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_standard() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6C_AB0B);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut crc = Crc32::new();
+        crc.update(&data[..100]);
+        crc.update(&data[100..]);
+        assert_eq!(crc.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = b"spend 2 tokens";
+        let framed = append_crc(payload);
+        assert_eq!(framed.len(), payload.len() + 4);
+        assert_eq!(verify_and_strip_crc(&framed), Some(payload.as_slice()));
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let mut framed = append_crc(b"spend 2 tokens");
+        framed[3] ^= 0x01;
+        assert_eq!(verify_and_strip_crc(&framed), None);
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(verify_and_strip_crc(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn xor_of_two_framed_messages_is_detected_as_collision() {
+        // This is exactly the DC-net collision scenario: two senders XOR
+        // their framed messages together on the shared channel.
+        let a = append_crc(b"first transaction payload!");
+        let b = append_crc(b"second transaction payload");
+        assert_eq!(a.len(), b.len());
+        let collided: Vec<u8> = a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect();
+        assert_eq!(verify_and_strip_crc(&collided), None);
+    }
+
+    #[test]
+    fn empty_payload_frame_round_trips() {
+        let framed = append_crc(b"");
+        assert_eq!(verify_and_strip_crc(&framed), Some(b"".as_slice()));
+    }
+}

@@ -1,0 +1,323 @@
+//! A from-scratch implementation of the SHA-256 cryptographic hash function
+//! (FIPS 180-4).
+//!
+//! The flexible broadcast protocol uses SHA-256 in two places:
+//!
+//! * hashing node identities and messages for the verifiable, message-free
+//!   virtual-source election at the phase 1 → phase 2 transition
+//!   (`argmin_i dist(H(id_i), H(m))`), and
+//! * as the compression function behind [`crate::hmac`] and
+//!   [`crate::hkdf`], which derive the pairwise DC-net pad keys.
+//!
+//! The implementation is pure safe Rust, allocation-free for the streaming
+//! interface, and validated against the official FIPS/NIST test vectors in
+//! the unit tests below.
+//!
+//! # Examples
+//!
+//! ```
+//! use fnp_crypto::sha256::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     fnp_crypto::hex::encode(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! ```
+
+/// Size of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+/// Size of a SHA-256 input block in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// SHA-256 round constants: the first 32 bits of the fractional parts of the
+/// cube roots of the first 64 prime numbers.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 prime numbers.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// Feed data with [`Sha256::update`] and produce the digest with
+/// [`Sha256::finalize`]. For one-shot hashing use [`Sha256::digest`].
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Total number of message bytes processed so far.
+    len: u64,
+    /// Partially filled input block.
+    buffer: [u8; BLOCK_LEN],
+    /// Number of valid bytes in `buffer`.
+    buffered: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a new hasher in the initial state.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            len: 0,
+            buffer: [0u8; BLOCK_LEN],
+            buffered: 0,
+        }
+    }
+
+    /// Convenience one-shot hash of `data`.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut hasher = Self::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+
+    /// Hashes the concatenation of the provided chunks.
+    ///
+    /// Equivalent to calling [`Sha256::update`] once per chunk; convenient
+    /// for domain-separated hashing without intermediate allocation.
+    pub fn digest_chunks<'a, I>(chunks: I) -> [u8; DIGEST_LEN]
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut hasher = Self::new();
+        for chunk in chunks {
+            hasher.update(chunk);
+        }
+        hasher.finalize()
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut input = data;
+
+        // Fill a partially buffered block first.
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+
+        // Process full blocks directly from the input.
+        while input.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&input[..BLOCK_LEN]);
+            self.compress(&block);
+            input = &input[BLOCK_LEN..];
+        }
+
+        // Stash the remainder.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Finishes the hash computation and returns the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.len.wrapping_mul(8);
+
+        // Append the 0x80 terminator.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        // Number of zero bytes so that buffered + 1 + zeros + 8 ≡ 0 (mod 64).
+        let pad_len = if self.buffered < 56 {
+            56 - self.buffered
+        } else {
+            120 - self.buffered
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_padding(&pad[..pad_len + 8]);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Internal `update` used for the final padding: must not change `len`.
+    fn update_padding(&mut self, data: &[u8]) {
+        let mut input = data;
+        if self.buffered > 0 {
+            let take = (BLOCK_LEN - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == BLOCK_LEN {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= BLOCK_LEN {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(&input[..BLOCK_LEN]);
+            self.compress(&block);
+            input = &input[BLOCK_LEN..];
+        }
+        debug_assert!(input.is_empty(), "padding must end on a block boundary");
+    }
+
+    /// SHA-256 compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn hex_digest(data: &[u8]) -> String {
+        hex::encode(&Sha256::digest(data))
+    }
+
+    #[test]
+    fn empty_input_matches_fips_vector() {
+        assert_eq!(
+            hex_digest(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_matches_fips_vector() {
+        assert_eq!(
+            hex_digest(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message_matches_fips_vector() {
+        assert_eq!(
+            hex_digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn long_message_matches_fips_vector() {
+        // One million repetitions of 'a'.
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex_digest(&data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn fifty_six_byte_boundary() {
+        // Exactly 56 bytes forces the length field into a second padding block.
+        let data = vec![0x41u8; 56];
+        let one_shot = Sha256::digest(&data);
+        let mut streaming = Sha256::new();
+        streaming.update(&data);
+        assert_eq!(one_shot, streaming.finalize());
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_for_arbitrary_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let expected = Sha256::digest(&data);
+        for chunk_size in [1usize, 3, 7, 63, 64, 65, 127, 500] {
+            let mut hasher = Sha256::new();
+            for chunk in data.chunks(chunk_size) {
+                hasher.update(chunk);
+            }
+            assert_eq!(hasher.finalize(), expected, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn digest_chunks_concatenates() {
+        let expected = Sha256::digest(b"hello world");
+        let actual = Sha256::digest_chunks([b"hello".as_slice(), b" ".as_slice(), b"world".as_slice()]);
+        assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn different_inputs_produce_different_digests() {
+        assert_ne!(Sha256::digest(b"transaction-1"), Sha256::digest(b"transaction-2"));
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let mut a = Sha256::new();
+        a.update(b"partial ");
+        let mut b = a.clone();
+        a.update(b"message");
+        b.update(b"message");
+        assert_eq!(a.finalize(), b.finalize());
+    }
+}

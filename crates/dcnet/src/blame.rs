@@ -1,0 +1,361 @@
+//! Misbehaviour investigation ("blame") for disrupted DC-net rounds.
+//!
+//! The basic DC-net is vulnerable to denial of service: a malicious member
+//! can XOR garbage into every round, turning them all into collisions
+//! without ever being identified. §V-C of the paper discusses two
+//! responses:
+//!
+//! * **Dissolve** — in the honest-but-curious blockchain setting a group may
+//!   simply dissolve and re-form without the suspected member; cheap, but
+//!   the disrupter only loses potential transaction fees.
+//! * **Blame** — von Ahn et al.'s approach: after a disrupted round the
+//!   members reveal their per-round state, cross-check it against what was
+//!   actually delivered over the (authenticated) pairwise channels, and
+//!   expel any member whose revelation is inconsistent. The paper recommends
+//!   this as the default for general use.
+//!
+//! This module implements the investigation step in a simulation-friendly
+//! form. Pairwise channels are authenticated, so what a member *actually*
+//! sent in the disputed round is provable ([`RoundEvidence`]); each member
+//! additionally *reveals* its claimed shares and whether it transmitted
+//! ([`MemberRevelation`]). The verdict blames every member that
+//!
+//! 1. **equivocated** — revealed a share different from what its peer
+//!    provably received,
+//! 2. **disrupted** — actually contributed shares that XOR to garbage
+//!    (neither silence nor a well-formed framed slot), or
+//! 3. **lied about sending** — contributed a well-formed message while
+//!    claiming to have been silent during the investigation.
+//!
+//! Two honest members that happened to transmit in the same round are *not*
+//! blamed — that is an ordinary collision resolved by random back-off.
+
+use crate::slot::{self, SlotOutcome};
+use fnp_crypto::prg::xor_into;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a group responds to disrupted rounds (§V-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BlamePolicy {
+    /// Run the investigation of this module and expel blamed members.
+    /// The paper's recommended default for the general use case.
+    #[default]
+    Investigate,
+    /// Dissolve the group and re-form it without untrusted members; cheaper
+    /// but provides no accountability.
+    Dissolve,
+}
+
+/// What a member reveals when an investigation is opened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberRevelation {
+    /// The member's index within the group.
+    pub member: usize,
+    /// Whether the member claims to have stayed silent in the disputed round.
+    pub claims_silent: bool,
+    /// The shares the member claims to have sent, keyed by recipient.
+    pub shares_sent: BTreeMap<usize, Vec<u8>>,
+}
+
+/// Provable per-round facts: what each member actually received from every
+/// other member over the authenticated pairwise channels.
+///
+/// Indexed as `received[recipient][sender]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundEvidence {
+    /// `received[recipient]` maps sender index → share actually delivered.
+    pub received: Vec<BTreeMap<usize, Vec<u8>>>,
+}
+
+impl RoundEvidence {
+    /// Builds evidence for a group of `size` members with no recorded
+    /// deliveries yet.
+    pub fn new(size: usize) -> Self {
+        Self {
+            received: vec![BTreeMap::new(); size],
+        }
+    }
+
+    /// Records that `recipient` provably received `share` from `sender`.
+    pub fn record(&mut self, sender: usize, recipient: usize, share: Vec<u8>) {
+        self.received[recipient].insert(sender, share);
+    }
+}
+
+/// Reason a member was blamed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlameReason {
+    /// Revealed a share that differs from what the recipient provably got.
+    Equivocation,
+    /// The member's actual contribution XORs to garbage.
+    Disruption,
+    /// The member contributed a valid message while claiming silence.
+    DeniedSending,
+}
+
+impl fmt::Display for BlameReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlameReason::Equivocation => write!(f, "equivocated about a transmitted share"),
+            BlameReason::Disruption => write!(f, "contributed a malformed slot"),
+            BlameReason::DeniedSending => write!(f, "denied having transmitted"),
+        }
+    }
+}
+
+/// Result of an investigation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlameVerdict {
+    /// Members found to have misbehaved, with the reason.
+    pub blamed: Vec<(usize, BlameReason)>,
+    /// Members that (provably) transmitted a well-formed message in the
+    /// disputed round and admitted it. Two or more of these constitute an
+    /// honest collision.
+    pub admitted_senders: Vec<usize>,
+}
+
+impl BlameVerdict {
+    /// True if nobody needs to be expelled: the disruption is explained by
+    /// an ordinary collision of honest senders (or by nothing at all).
+    pub fn is_honest_collision(&self) -> bool {
+        self.blamed.is_empty()
+    }
+
+    /// Indices of all blamed members.
+    pub fn blamed_members(&self) -> Vec<usize> {
+        self.blamed.iter().map(|(member, _)| *member).collect()
+    }
+}
+
+/// Investigates a disputed round.
+///
+/// `slot_len` is the slot size of the disputed round; `revelations` must
+/// contain exactly one entry per group member and `evidence` must cover the
+/// same group.
+///
+/// # Panics
+///
+/// Panics if the revelations and evidence disagree about the group size;
+/// the caller assembles both from the same group so a mismatch is a logic
+/// error, not a runtime condition.
+pub fn investigate(
+    revelations: &[MemberRevelation],
+    evidence: &RoundEvidence,
+    slot_len: usize,
+) -> BlameVerdict {
+    assert_eq!(
+        revelations.len(),
+        evidence.received.len(),
+        "revelations and evidence must describe the same group"
+    );
+    let size = revelations.len();
+    let mut verdict = BlameVerdict::default();
+
+    for revelation in revelations {
+        let member = revelation.member;
+        let mut blamed_reason: Option<BlameReason> = None;
+
+        // 1. Equivocation: compare every revealed share against what the
+        //    recipient provably received.
+        for (&recipient, revealed) in &revelation.shares_sent {
+            if recipient >= size {
+                blamed_reason = Some(BlameReason::Equivocation);
+                break;
+            }
+            match evidence.received[recipient].get(&member) {
+                Some(actual) if actual == revealed => {}
+                _ => {
+                    blamed_reason = Some(BlameReason::Equivocation);
+                    break;
+                }
+            }
+        }
+
+        // 2/3. Reconstruct the member's actual contribution from the
+        //      evidence (what everyone received from it) and classify it.
+        if blamed_reason.is_none() {
+            let mut contribution = vec![0u8; slot_len];
+            let mut malformed_share = false;
+            for recipient_evidence in &evidence.received {
+                if let Some(share) = recipient_evidence.get(&member) {
+                    if share.len() != slot_len {
+                        malformed_share = true;
+                        break;
+                    }
+                    xor_into(&mut contribution, share);
+                }
+            }
+            if malformed_share {
+                blamed_reason = Some(BlameReason::Disruption);
+            } else {
+                match slot::decode(&contribution) {
+                    SlotOutcome::Silence => {}
+                    SlotOutcome::Message(_) => {
+                        if revelation.claims_silent {
+                            blamed_reason = Some(BlameReason::DeniedSending);
+                        } else {
+                            verdict.admitted_senders.push(member);
+                        }
+                    }
+                    SlotOutcome::Collision => {
+                        blamed_reason = Some(BlameReason::Disruption);
+                    }
+                }
+            }
+        }
+
+        if let Some(reason) = blamed_reason {
+            verdict.blamed.push((member, reason));
+        }
+    }
+
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitParticipant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SLOT: usize = 64;
+
+    /// Builds revelations + evidence from honestly executed participants,
+    /// then lets tests tamper with them.
+    fn honest_round(
+        payloads: &[Option<Vec<u8>>],
+        seed: u64,
+    ) -> (Vec<MemberRevelation>, RoundEvidence) {
+        let size = payloads.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let participants: Vec<ExplicitParticipant> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ExplicitParticipant::new(i, size, SLOT, p.as_deref(), &mut rng).unwrap())
+            .collect();
+
+        let mut evidence = RoundEvidence::new(size);
+        for participant in &participants {
+            for (recipient, share) in participant.share_messages() {
+                evidence.record(participant.index(), recipient, share);
+            }
+        }
+        let revelations = participants
+            .iter()
+            .map(|p| MemberRevelation {
+                member: p.index(),
+                claims_silent: !p.is_sender(),
+                shares_sent: p.revealed_shares().clone(),
+            })
+            .collect();
+        (revelations, evidence)
+    }
+
+    #[test]
+    fn honest_silent_round_blames_nobody() {
+        let (revelations, evidence) = honest_round(&vec![None; 5], 1);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert!(verdict.is_honest_collision());
+        assert!(verdict.admitted_senders.is_empty());
+    }
+
+    #[test]
+    fn honest_single_sender_blames_nobody() {
+        let mut payloads = vec![None; 4];
+        payloads[1] = Some(b"tx".to_vec());
+        let (revelations, evidence) = honest_round(&payloads, 2);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert!(verdict.is_honest_collision());
+        assert_eq!(verdict.admitted_senders, vec![1]);
+    }
+
+    #[test]
+    fn honest_collision_of_two_senders_blames_nobody() {
+        let mut payloads = vec![None; 5];
+        payloads[0] = Some(b"a".to_vec());
+        payloads[3] = Some(b"b".to_vec());
+        let (revelations, evidence) = honest_round(&payloads, 3);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert!(verdict.is_honest_collision());
+        assert_eq!(verdict.admitted_senders, vec![0, 3]);
+    }
+
+    #[test]
+    fn disrupter_sending_garbage_is_blamed() {
+        let (revelations, mut evidence) = honest_round(&vec![None; 4], 4);
+        // Member 2 actually delivered a garbled share to member 0: flip a
+        // byte of what the evidence says member 0 received, and also flip it
+        // in member 2's revelation so the revelation stays consistent with
+        // the (tampered) delivery — i.e. member 2 really sent garbage.
+        let mut share = evidence.received[0].get(&2).unwrap().clone();
+        share[5] ^= 0xFF;
+        evidence.received[0].insert(2, share.clone());
+        let mut revelations = revelations;
+        revelations[2].shares_sent.insert(0, share);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert_eq!(verdict.blamed, vec![(2, BlameReason::Disruption)]);
+    }
+
+    #[test]
+    fn equivocating_member_is_blamed() {
+        let (mut revelations, evidence) = honest_round(&vec![None; 4], 5);
+        // Member 1 reveals a share different from what it provably sent.
+        let recipient = *revelations[1].shares_sent.keys().next().unwrap();
+        revelations[1]
+            .shares_sent
+            .insert(recipient, vec![0xAB; SLOT]);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert_eq!(verdict.blamed, vec![(1, BlameReason::Equivocation)]);
+    }
+
+    #[test]
+    fn sender_denying_transmission_is_blamed() {
+        let mut payloads = vec![None; 4];
+        payloads[2] = Some(b"secret".to_vec());
+        let (mut revelations, evidence) = honest_round(&payloads, 6);
+        revelations[2].claims_silent = true;
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert_eq!(verdict.blamed, vec![(2, BlameReason::DeniedSending)]);
+    }
+
+    #[test]
+    fn revelation_for_unknown_recipient_is_equivocation() {
+        let (mut revelations, evidence) = honest_round(&vec![None; 3], 7);
+        revelations[0].shares_sent.insert(99, vec![0u8; SLOT]);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert_eq!(verdict.blamed_members(), vec![0]);
+    }
+
+    #[test]
+    fn wrong_length_share_is_disruption() {
+        let (mut revelations, mut evidence) = honest_round(&vec![None; 3], 8);
+        evidence.received[1].insert(0, vec![1, 2, 3]);
+        revelations[0].shares_sent.insert(1, vec![1, 2, 3]);
+        let verdict = investigate(&revelations, &evidence, SLOT);
+        assert!(verdict
+            .blamed
+            .contains(&(0, BlameReason::Disruption)));
+    }
+
+    #[test]
+    #[should_panic(expected = "same group")]
+    fn mismatched_group_sizes_panic() {
+        let (revelations, _) = honest_round(&vec![None; 3], 9);
+        let evidence = RoundEvidence::new(4);
+        investigate(&revelations, &evidence, SLOT);
+    }
+
+    #[test]
+    fn default_policy_is_investigate() {
+        assert_eq!(BlamePolicy::default(), BlamePolicy::Investigate);
+    }
+
+    #[test]
+    fn blame_reason_display() {
+        assert!(BlameReason::Equivocation.to_string().contains("equivocated"));
+        assert!(BlameReason::Disruption.to_string().contains("malformed"));
+        assert!(BlameReason::DeniedSending.to_string().contains("denied"));
+    }
+}

@@ -1,0 +1,474 @@
+//! Pad-based DC-net rounds over pre-established pairwise keys.
+//!
+//! The explicit construction of Fig. 4 ships fresh random shares in every
+//! round, costing three full exchanges. Once the group members share
+//! pairwise secrets — which the paper assumes anyway ("all nodes need to
+//! share pairwise encrypted channels") — the classical Chaum construction
+//! needs only **one** transmission per member per round: member *i*
+//! publishes
+//!
+//! ```text
+//! c_i = m_i ⊕ ⊕_{j ≠ i} PRG(key_{ij}, round)
+//! ```
+//!
+//! and the XOR of all contributions cancels every pad (each `PRG(key_{ij})`
+//! appears exactly twice) leaving `⊕_i m_i`. This module implements that
+//! variant; the flexible broadcast protocol uses it for its phase 1 because
+//! it reduces the per-round cost from `3·k·(k−1)` messages to `k·(k−1)`
+//! (full mesh) while preserving the same anonymity set. Experiment E4
+//! contrasts the two variants.
+
+use crate::slot::{self, SlotOutcome};
+use fnp_crypto::dh::{pairwise_pad_key, KeyPair, PublicKey};
+use fnp_crypto::prg::{xor_into, PadGenerator};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced by the keyed DC-net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyedDcError {
+    /// The group is too small for a meaningful round.
+    GroupTooSmall {
+        /// Number of members in the offending group.
+        size: usize,
+    },
+    /// A member index is out of range.
+    MemberOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Group size.
+        size: usize,
+    },
+    /// The payload does not fit in the slot.
+    PayloadTooLarge(slot::PayloadTooLargeError),
+    /// A contribution had the wrong length.
+    WrongSlotLength {
+        /// Received length.
+        received: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// Not every member has contributed yet.
+    MissingContributions {
+        /// Number of contributions received so far.
+        received: usize,
+        /// Number of contributions required.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for KeyedDcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyedDcError::GroupTooSmall { size } => {
+                write!(f, "keyed dc-net group of size {size} is too small (need at least 2)")
+            }
+            KeyedDcError::MemberOutOfRange { index, size } => {
+                write!(f, "member index {index} outside group of size {size}")
+            }
+            KeyedDcError::PayloadTooLarge(inner) => write!(f, "{inner}"),
+            KeyedDcError::WrongSlotLength { received, expected } => {
+                write!(f, "contribution of {received} bytes, expected {expected} bytes")
+            }
+            KeyedDcError::MissingContributions { received, expected } => {
+                write!(f, "only {received} of {expected} contributions received")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyedDcError {}
+
+impl From<slot::PayloadTooLargeError> for KeyedDcError {
+    fn from(e: slot::PayloadTooLargeError) -> Self {
+        KeyedDcError::PayloadTooLarge(e)
+    }
+}
+
+/// One member of a keyed DC-net group.
+///
+/// Holds the member's long-term key pair and the pad generators shared with
+/// every other member, and produces one contribution per round.
+pub struct KeyedParticipant {
+    index: usize,
+    size: usize,
+    pads: BTreeMap<usize, PadGenerator>,
+}
+
+impl fmt::Debug for KeyedParticipant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyedParticipant")
+            .field("index", &self.index)
+            .field("size", &self.size)
+            .field("pads", &format_args!("<{} pairwise pads>", self.pads.len()))
+            .finish()
+    }
+}
+
+impl KeyedParticipant {
+    /// Creates participant `index` of a group whose members' public keys are
+    /// `member_keys` (indexed by member), using `own_keys` as this member's
+    /// key pair.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the group has fewer than two members or `index` is out of
+    /// range.
+    pub fn new(
+        index: usize,
+        own_keys: &KeyPair,
+        member_keys: &[PublicKey],
+    ) -> Result<Self, KeyedDcError> {
+        let size = member_keys.len();
+        if size < 2 {
+            return Err(KeyedDcError::GroupTooSmall { size });
+        }
+        if index >= size {
+            return Err(KeyedDcError::MemberOutOfRange { index, size });
+        }
+        let pads = member_keys
+            .iter()
+            .enumerate()
+            .filter(|(peer, _)| *peer != index)
+            .map(|(peer, public)| (peer, PadGenerator::new(pairwise_pad_key(own_keys, public))))
+            .collect();
+        Ok(Self { index, size, pads })
+    }
+
+    /// This member's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> usize {
+        self.size
+    }
+
+    /// Produces this member's contribution for `round`.
+    ///
+    /// `payload` is the message to transmit (`None` to stay silent); the
+    /// contribution is the framed slot XORed with the pads shared with every
+    /// other member.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the payload does not fit into `slot_len`.
+    pub fn contribution(
+        &mut self,
+        round: u64,
+        slot_len: usize,
+        payload: Option<&[u8]>,
+    ) -> Result<Vec<u8>, KeyedDcError> {
+        let mut contribution = match payload {
+            Some(payload) => slot::encode(payload, slot_len)?,
+            None => slot::silence(slot_len),
+        };
+        for pad_generator in self.pads.values_mut() {
+            let pad = pad_generator.pad(round, slot_len);
+            xor_into(&mut contribution, &pad);
+        }
+        Ok(contribution)
+    }
+}
+
+/// Combines the contributions of all group members into the round outcome.
+///
+/// # Errors
+///
+/// Fails if fewer than two contributions are provided or they disagree in
+/// length.
+pub fn combine_contributions(contributions: &[Vec<u8>]) -> Result<SlotOutcome, KeyedDcError> {
+    if contributions.len() < 2 {
+        return Err(KeyedDcError::MissingContributions {
+            received: contributions.len(),
+            expected: 2,
+        });
+    }
+    let slot_len = contributions[0].len();
+    let mut combined = vec![0u8; slot_len];
+    for contribution in contributions {
+        if contribution.len() != slot_len {
+            return Err(KeyedDcError::WrongSlotLength {
+                received: contribution.len(),
+                expected: slot_len,
+            });
+        }
+        xor_into(&mut combined, contribution);
+    }
+    Ok(slot::decode(&combined))
+}
+
+/// A whole keyed DC-net group: key pairs, participants and round driving.
+///
+/// This is the convenience entry point used by examples, tests and the
+/// in-memory experiments; the simulator-integrated protocol in `fnp-core`
+/// drives [`KeyedParticipant`]s directly instead.
+pub struct KeyedDcGroup {
+    participants: Vec<KeyedParticipant>,
+    slot_len: usize,
+}
+
+impl fmt::Debug for KeyedDcGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyedDcGroup")
+            .field("size", &self.participants.len())
+            .field("slot_len", &self.slot_len)
+            .finish()
+    }
+}
+
+/// Report of one keyed DC-net round, mirroring
+/// [`crate::explicit::ExplicitRoundReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyedRoundReport {
+    /// The outcome of the round (identical for every member).
+    pub outcome: SlotOutcome,
+    /// Point-to-point messages exchanged (full-mesh contribution exchange).
+    pub messages_sent: u64,
+    /// Bytes carried by those messages.
+    pub bytes_sent: u64,
+    /// Slot size used.
+    pub slot_len: usize,
+}
+
+impl KeyedDcGroup {
+    /// Creates a group of `size` members with freshly generated key pairs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `size < 2`.
+    pub fn new<R: rand::Rng + ?Sized>(
+        size: usize,
+        slot_len: usize,
+        rng: &mut R,
+    ) -> Result<Self, KeyedDcError> {
+        if size < 2 {
+            return Err(KeyedDcError::GroupTooSmall { size });
+        }
+        let key_pairs: Vec<KeyPair> = (0..size).map(|_| KeyPair::generate(rng)).collect();
+        let public_keys: Vec<PublicKey> = key_pairs.iter().map(|kp| kp.public_key()).collect();
+        let participants = key_pairs
+            .iter()
+            .enumerate()
+            .map(|(index, own)| KeyedParticipant::new(index, own, &public_keys))
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            participants,
+            slot_len,
+        })
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Slot length used by this group.
+    pub fn slot_len(&self) -> usize {
+        self.slot_len
+    }
+
+    /// Runs one round in memory. `payloads[i]` is member `i`'s message
+    /// (`None` to stay silent).
+    ///
+    /// Message accounting assumes the full-mesh exchange the paper's setting
+    /// implies: every member sends its contribution to every other member,
+    /// i.e. `k·(k−1)` messages of `slot_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the payload list length does not match the group size or a
+    /// payload is too large.
+    pub fn run_round(
+        &mut self,
+        round: u64,
+        payloads: &[Option<Vec<u8>>],
+    ) -> Result<KeyedRoundReport, KeyedDcError> {
+        if payloads.len() != self.participants.len() {
+            return Err(KeyedDcError::MissingContributions {
+                received: payloads.len(),
+                expected: self.participants.len(),
+            });
+        }
+        let slot_len = self.slot_len;
+        let contributions: Vec<Vec<u8>> = self
+            .participants
+            .iter_mut()
+            .zip(payloads.iter())
+            .map(|(participant, payload)| participant.contribution(round, slot_len, payload.as_deref()))
+            .collect::<Result<_, _>>()?;
+        let outcome = combine_contributions(&contributions)?;
+        let k = self.participants.len() as u64;
+        Ok(KeyedRoundReport {
+            outcome,
+            messages_sent: k * (k - 1),
+            bytes_sent: k * (k - 1) * slot_len as u64,
+            slot_len,
+        })
+    }
+}
+
+/// Point-to-point messages per keyed round for a group of size `k` under
+/// full-mesh contribution exchange.
+pub fn expected_message_count(k: usize) -> u64 {
+    if k < 2 {
+        return 0;
+    }
+    (k as u64) * (k as u64 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn silent_round_is_silence() {
+        let mut group = KeyedDcGroup::new(5, 64, &mut rng(1)).unwrap();
+        let report = group.run_round(0, &vec![None; 5]).unwrap();
+        assert_eq!(report.outcome, SlotOutcome::Silence);
+        assert_eq!(report.messages_sent, 20);
+    }
+
+    #[test]
+    fn single_sender_recovered() {
+        let mut group = KeyedDcGroup::new(4, 128, &mut rng(2)).unwrap();
+        let mut payloads = vec![None; 4];
+        payloads[2] = Some(b"anonymous transaction".to_vec());
+        let report = group.run_round(7, &payloads).unwrap();
+        assert_eq!(report.outcome, SlotOutcome::Message(b"anonymous transaction".to_vec()));
+        assert_eq!(report.messages_sent, expected_message_count(4));
+        assert_eq!(report.bytes_sent, 12 * 128);
+    }
+
+    #[test]
+    fn two_senders_collide() {
+        let mut group = KeyedDcGroup::new(4, 64, &mut rng(3)).unwrap();
+        let payloads = vec![Some(b"a".to_vec()), Some(b"b".to_vec()), None, None];
+        let report = group.run_round(0, &payloads).unwrap();
+        assert_eq!(report.outcome, SlotOutcome::Collision);
+    }
+
+    #[test]
+    fn rounds_are_independent() {
+        // The same group can run many rounds; pads differ per round so a
+        // message sent in round 5 does not corrupt round 6.
+        let mut group = KeyedDcGroup::new(3, 64, &mut rng(4)).unwrap();
+        let mut payloads = vec![None; 3];
+        payloads[0] = Some(b"round five".to_vec());
+        assert_eq!(
+            group.run_round(5, &payloads).unwrap().outcome,
+            SlotOutcome::Message(b"round five".to_vec())
+        );
+        assert_eq!(group.run_round(6, &vec![None; 3]).unwrap().outcome, SlotOutcome::Silence);
+    }
+
+    #[test]
+    fn group_too_small_rejected() {
+        assert!(matches!(
+            KeyedDcGroup::new(1, 64, &mut rng(5)),
+            Err(KeyedDcError::GroupTooSmall { size: 1 })
+        ));
+    }
+
+    #[test]
+    fn payload_length_mismatch_rejected() {
+        let mut group = KeyedDcGroup::new(3, 64, &mut rng(6)).unwrap();
+        assert!(matches!(
+            group.run_round(0, &[None, None]),
+            Err(KeyedDcError::MissingContributions { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let mut group = KeyedDcGroup::new(3, 32, &mut rng(7)).unwrap();
+        let payloads = vec![Some(vec![0u8; 100]), None, None];
+        assert!(matches!(
+            group.run_round(0, &payloads),
+            Err(KeyedDcError::PayloadTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn combine_requires_consistent_lengths() {
+        let err = combine_contributions(&[vec![0u8; 8], vec![0u8; 9]]).unwrap_err();
+        assert!(matches!(err, KeyedDcError::WrongSlotLength { .. }));
+        let err = combine_contributions(&[vec![0u8; 8]]).unwrap_err();
+        assert!(matches!(err, KeyedDcError::MissingContributions { .. }));
+    }
+
+    #[test]
+    fn contributions_hide_the_sender() {
+        // No single contribution decodes as the message: each is masked by
+        // pads unknown to an outside observer.
+        let mut group = KeyedDcGroup::new(5, 64, &mut rng(8)).unwrap();
+        let message = b"hidden".to_vec();
+        let mut payloads = vec![None; 5];
+        payloads[1] = Some(message.clone());
+        // Reach into the round manually to inspect contributions.
+        let contributions: Vec<Vec<u8>> = group
+            .participants
+            .iter_mut()
+            .zip(payloads.iter())
+            .map(|(p, m)| p.contribution(3, 64, m.as_deref()).unwrap())
+            .collect();
+        for contribution in &contributions {
+            assert_ne!(slot::decode(contribution), SlotOutcome::Message(message.clone()));
+        }
+        assert_eq!(
+            combine_contributions(&contributions).unwrap(),
+            SlotOutcome::Message(message)
+        );
+    }
+
+    #[test]
+    fn keyed_is_cheaper_than_explicit() {
+        for k in 2..=16 {
+            assert!(expected_message_count(k) < crate::explicit::expected_message_count(k).max(1) || k < 2);
+            assert_eq!(
+                crate::explicit::expected_message_count(k),
+                3 * expected_message_count(k)
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_strings() {
+        for error in [
+            KeyedDcError::GroupTooSmall { size: 0 },
+            KeyedDcError::MemberOutOfRange { index: 4, size: 2 },
+            KeyedDcError::WrongSlotLength { received: 1, expected: 2 },
+            KeyedDcError::MissingContributions { received: 1, expected: 3 },
+        ] {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_single_sender_any_round(
+            size in 2usize..8,
+            sender in 0usize..8,
+            round in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..48),
+            seed in any::<u64>(),
+        ) {
+            let sender = sender % size;
+            let mut group = KeyedDcGroup::new(size, 64, &mut rng(seed)).unwrap();
+            let mut payloads = vec![None; size];
+            payloads[sender] = Some(payload.clone());
+            let report = group.run_round(round, &payloads).unwrap();
+            prop_assert_eq!(report.outcome, SlotOutcome::Message(payload));
+        }
+    }
+}

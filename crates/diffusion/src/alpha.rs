@@ -1,0 +1,179 @@
+//! Virtual-source hand-off probability schedules.
+//!
+//! Adaptive diffusion alternates between *keeping* the virtual-source token
+//! (and spreading the message symmetrically around the current virtual
+//! source) and *passing* it one hop further from the true source. The
+//! probability of keeping the token at even timestep `t`, when the current
+//! virtual source is `h` hops from the true source, is the schedule
+//! `α(t, h)`. Fanti et al. derive the schedule that makes the true source
+//! uniformly distributed over the infected subgraph of a `d`-regular tree:
+//!
+//! ```text
+//! α_d(t, h) = (p^(t/2 − h + 1) − 1) / (p^(t/2 + 1) − 1),   p = d − 1  (d > 2)
+//! α_2(t, h) = (t/2 − h + 1) / (t/2 + 1)                              (d = 2)
+//! ```
+//!
+//! The ICDCS paper under reproduction simply notes that "α is dependent on
+//! the number of rounds already executed" and that dissemination is
+//! accelerated by reducing α after each round (passing stalls the spread).
+//! Both behaviours are provided here, together with degenerate schedules
+//! used in tests and ablations.
+
+use std::fmt;
+
+/// A schedule for the probability of *keeping* the virtual-source token.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AlphaSchedule {
+    /// The Fanti et al. schedule for `degree`-regular trees (also a good
+    /// default on roughly regular random graphs, as both papers note).
+    RegularTree {
+        /// Assumed node degree `d ≥ 2`.
+        degree: usize,
+    },
+    /// A fixed keep-probability, independent of time and distance.
+    Fixed {
+        /// Probability of keeping the token, clamped into `[0, 1]`.
+        probability: f64,
+    },
+    /// Never keep the token: it is passed every round, maximising how far
+    /// the virtual source runs from the origin (and minimising per-round
+    /// spreading). Useful as an ablation.
+    AlwaysPass,
+    /// Always keep the token: equivalent to symmetric spreading around the
+    /// first virtual source. Useful as an ablation.
+    NeverPass,
+}
+
+impl Default for AlphaSchedule {
+    /// The regular-tree schedule with degree 8, matching the default
+    /// Bitcoin-like overlay used across the experiments.
+    fn default() -> Self {
+        AlphaSchedule::RegularTree { degree: 8 }
+    }
+}
+
+impl fmt::Display for AlphaSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlphaSchedule::RegularTree { degree } => write!(f, "regular-tree(d={degree})"),
+            AlphaSchedule::Fixed { probability } => write!(f, "fixed({probability})"),
+            AlphaSchedule::AlwaysPass => write!(f, "always-pass"),
+            AlphaSchedule::NeverPass => write!(f, "never-pass"),
+        }
+    }
+}
+
+impl AlphaSchedule {
+    /// Probability of keeping the virtual-source token at even timestep `t`
+    /// when the virtual source is `h ≥ 1` hops from the origin.
+    ///
+    /// Values are always in `[0, 1]`. Degenerate inputs (odd `t`, `h` larger
+    /// than `t/2`) are clamped rather than rejected, because in general
+    /// graphs the bookkeeping can drift slightly from the tree ideal.
+    pub fn keep_probability(&self, t: u32, h: u32) -> f64 {
+        match *self {
+            AlphaSchedule::Fixed { probability } => probability.clamp(0.0, 1.0),
+            AlphaSchedule::AlwaysPass => 0.0,
+            AlphaSchedule::NeverPass => 1.0,
+            AlphaSchedule::RegularTree { degree } => {
+                let half_t = (t / 2).max(1) as f64;
+                let h = (h.max(1) as f64).min(half_t);
+                if degree <= 2 {
+                    // Line graphs: the limit of the general formula.
+                    ((half_t - h + 1.0) / (half_t + 1.0)).clamp(0.0, 1.0)
+                } else {
+                    let p = (degree - 1) as f64;
+                    let numerator = p.powf(half_t - h + 1.0) - 1.0;
+                    let denominator = p.powf(half_t + 1.0) - 1.0;
+                    if denominator <= 0.0 {
+                        0.0
+                    } else {
+                        (numerator / denominator).clamp(0.0, 1.0)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_schedule_clamps() {
+        assert_eq!(AlphaSchedule::Fixed { probability: 0.3 }.keep_probability(4, 1), 0.3);
+        assert_eq!(AlphaSchedule::Fixed { probability: 1.7 }.keep_probability(4, 1), 1.0);
+        assert_eq!(AlphaSchedule::Fixed { probability: -0.2 }.keep_probability(4, 1), 0.0);
+    }
+
+    #[test]
+    fn degenerate_schedules() {
+        assert_eq!(AlphaSchedule::AlwaysPass.keep_probability(10, 2), 0.0);
+        assert_eq!(AlphaSchedule::NeverPass.keep_probability(10, 2), 1.0);
+    }
+
+    #[test]
+    fn line_graph_formula() {
+        // d = 2: α(t, h) = (t/2 − h + 1)/(t/2 + 1).
+        let schedule = AlphaSchedule::RegularTree { degree: 2 };
+        assert!((schedule.keep_probability(4, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((schedule.keep_probability(4, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((schedule.keep_probability(8, 1) - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_tree_formula_matches_reference_values() {
+        // d = 3 (p = 2), t = 4: α(4, 1) = (2^2 − 1)/(2^3 − 1) = 3/7,
+        //                        α(4, 2) = (2^1 − 1)/(2^3 − 1) = 1/7.
+        let schedule = AlphaSchedule::RegularTree { degree: 3 };
+        assert!((schedule.keep_probability(4, 1) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((schedule.keep_probability(4, 2) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_probability_decreases_with_distance() {
+        // The further the virtual source already is from the origin, the
+        // more likely it is to stay put (α decreases in h ⇒ passing becomes
+        // *less* likely as h grows towards t/2... actually the formula gives
+        // smaller keep-probability for larger h, i.e. distant virtual
+        // sources keep passing less often).
+        let schedule = AlphaSchedule::RegularTree { degree: 4 };
+        let a1 = schedule.keep_probability(10, 1);
+        let a3 = schedule.keep_probability(10, 3);
+        let a5 = schedule.keep_probability(10, 5);
+        assert!(a1 > a3 && a3 > a5, "{a1} {a3} {a5}");
+    }
+
+    #[test]
+    fn default_is_degree_eight_tree() {
+        assert_eq!(AlphaSchedule::default(), AlphaSchedule::RegularTree { degree: 8 });
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AlphaSchedule::AlwaysPass.to_string(), "always-pass");
+        assert!(AlphaSchedule::default().to_string().contains("d=8"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probabilities_are_valid(
+            degree in 2usize..16,
+            t in 2u32..64,
+            h in 1u32..32,
+        ) {
+            let t = t * 2; // even timesteps
+            for schedule in [
+                AlphaSchedule::RegularTree { degree },
+                AlphaSchedule::Fixed { probability: 0.5 },
+                AlphaSchedule::AlwaysPass,
+                AlphaSchedule::NeverPass,
+            ] {
+                let alpha = schedule.keep_probability(t, h);
+                prop_assert!((0.0..=1.0).contains(&alpha), "{schedule}: {alpha}");
+            }
+        }
+    }
+}

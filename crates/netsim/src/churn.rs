@@ -1,0 +1,190 @@
+//! Node churn: temporary outages injected into a simulation run.
+//!
+//! Peer-to-peer overlays are never static — nodes crash, disconnect and
+//! rejoin — and the paper's protocol has to keep its delivery guarantee
+//! (Phase 3) and its privacy floor under such churn. The schedule defined
+//! here is deliberately simple and fully deterministic: a set of
+//! per-node outage intervals fixed before the run starts. While a node is
+//! down it neither receives messages nor fires timers; messages addressed to
+//! it during an outage are dropped (and counted under the
+//! `"dropped-offline"` metric counter), exactly like a crashed TCP peer.
+//!
+//! Churn is attached to a run through [`crate::sim::SimConfig::churn`]; an
+//! empty schedule (the default) has zero overhead.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One outage: `node` is unreachable during `[from, until)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeOutage {
+    /// The affected node.
+    pub node: NodeId,
+    /// First instant at which the node is down.
+    pub from: SimTime,
+    /// First instant at which the node is back up (exclusive end).
+    pub until: SimTime,
+}
+
+impl NodeOutage {
+    /// Whether the outage covers time `at`.
+    pub fn covers(&self, at: SimTime) -> bool {
+        at >= self.from && at < self.until
+    }
+
+    /// Length of the outage.
+    pub fn duration(&self) -> SimTime {
+        self.until.saturating_sub(self.from)
+    }
+}
+
+/// A deterministic churn schedule: a collection of node outages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    outages: Vec<NodeOutage>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule (no churn).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A schedule built from explicit outages.
+    pub fn from_outages(outages: impl IntoIterator<Item = NodeOutage>) -> Self {
+        Self {
+            outages: outages.into_iter().collect(),
+        }
+    }
+
+    /// Adds one outage.
+    pub fn add(&mut self, node: NodeId, from: SimTime, until: SimTime) -> &mut Self {
+        self.outages.push(NodeOutage { node, from, until });
+        self
+    }
+
+    /// A schedule taking a random `fraction` of the `n` nodes down for
+    /// `[from, until)`, excluding the nodes in `protected` (typically the
+    /// broadcast originator, whose crash would make delivery trivially
+    /// impossible).
+    pub fn random_fraction<R: rand::Rng + ?Sized>(
+        n: usize,
+        fraction: f64,
+        from: SimTime,
+        until: SimTime,
+        protected: &[NodeId],
+        rng: &mut R,
+    ) -> Self {
+        use rand::seq::SliceRandom;
+        let mut candidates: Vec<NodeId> = (0..n)
+            .map(NodeId::new)
+            .filter(|node| !protected.contains(node))
+            .collect();
+        candidates.shuffle(rng);
+        let count = ((fraction.clamp(0.0, 1.0)) * n as f64).round() as usize;
+        let outages = candidates
+            .into_iter()
+            .take(count)
+            .map(|node| NodeOutage { node, from, until })
+            .collect();
+        Self { outages }
+    }
+
+    /// Number of scheduled outages.
+    pub fn len(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Whether the schedule contains no outages.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// The scheduled outages.
+    pub fn outages(&self) -> &[NodeOutage] {
+        &self.outages
+    }
+
+    /// Whether `node` is down at time `at`.
+    pub fn is_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|outage| outage.node == node && outage.covers(at))
+    }
+
+    /// The distinct nodes that suffer at least one outage.
+    pub fn affected_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.outages.iter().map(|o| o.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn outage_covers_its_half_open_interval() {
+        let outage = NodeOutage {
+            node: NodeId::new(1),
+            from: 10,
+            until: 20,
+        };
+        assert!(!outage.covers(9));
+        assert!(outage.covers(10));
+        assert!(outage.covers(19));
+        assert!(!outage.covers(20));
+        assert_eq!(outage.duration(), 10);
+    }
+
+    #[test]
+    fn schedule_answers_is_down_per_node_and_time() {
+        let mut schedule = ChurnSchedule::none();
+        schedule.add(NodeId::new(2), 100, 200).add(NodeId::new(2), 300, 400);
+        schedule.add(NodeId::new(5), 0, 50);
+        assert!(schedule.is_down(NodeId::new(2), 150));
+        assert!(!schedule.is_down(NodeId::new(2), 250));
+        assert!(schedule.is_down(NodeId::new(2), 350));
+        assert!(schedule.is_down(NodeId::new(5), 0));
+        assert!(!schedule.is_down(NodeId::new(3), 150));
+        assert_eq!(schedule.len(), 3);
+        assert_eq!(schedule.affected_nodes(), vec![NodeId::new(2), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn empty_schedule_reports_everyone_up() {
+        let schedule = ChurnSchedule::none();
+        assert!(schedule.is_empty());
+        assert!(!schedule.is_down(NodeId::new(0), 0));
+        assert!(schedule.affected_nodes().is_empty());
+    }
+
+    #[test]
+    fn random_fraction_spares_protected_nodes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let protected = [NodeId::new(0), NodeId::new(1)];
+        let schedule = ChurnSchedule::random_fraction(50, 0.3, 10, 100, &protected, &mut rng);
+        assert_eq!(schedule.len(), 15);
+        for node in &protected {
+            assert!(!schedule.affected_nodes().contains(node));
+        }
+        for outage in schedule.outages() {
+            assert_eq!(outage.from, 10);
+            assert_eq!(outage.until, 100);
+        }
+    }
+
+    #[test]
+    fn from_outages_roundtrips() {
+        let outages = vec![
+            NodeOutage { node: NodeId::new(1), from: 0, until: 10 },
+            NodeOutage { node: NodeId::new(2), from: 5, until: 15 },
+        ];
+        let schedule = ChurnSchedule::from_outages(outages.clone());
+        assert_eq!(schedule.outages(), outages.as_slice());
+    }
+}

@@ -1,0 +1,369 @@
+//! Undirected graphs representing the peer-to-peer overlay.
+//!
+//! The overlay of a blockchain network is an undirected graph: an edge means
+//! the two peers maintain a TCP connection and relay transactions to each
+//! other. [`Graph`] stores the adjacency structure and offers the handful of
+//! graph algorithms the protocols and adversary estimators need: breadth-
+//! first search, connectivity, eccentricity/diameter, shortest-path trees
+//! and degree statistics.
+
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// Self-loops and parallel edges are rejected at insertion time; adjacency
+/// lists are kept sorted so that neighbour iteration order is deterministic,
+/// which in turn keeps whole simulations reproducible under a fixed seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len()).map(NodeId::new)
+    }
+
+    /// Returns `true` if the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency
+            .get(a.index())
+            .is_some_and(|neighbors| neighbors.binary_search(&b).is_ok())
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// Returns `true` if the edge was inserted, `false` if it already existed
+    /// or is a self-loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(
+            a.index() < self.node_count() && b.index() < self.node_count(),
+            "edge endpoints {a:?}, {b:?} out of range for graph of {} nodes",
+            self.node_count()
+        );
+        if a == b || self.has_edge(a, b) {
+            return false;
+        }
+        let insert_sorted = |list: &mut Vec<NodeId>, value: NodeId| {
+            let pos = list.binary_search(&value).unwrap_err();
+            list.insert(pos, value);
+        };
+        insert_sorted(&mut self.adjacency[a.index()], b);
+        insert_sorted(&mut self.adjacency[b.index()], a);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{a, b}` if present; returns whether an
+    /// edge was removed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if !self.has_edge(a, b) {
+            return false;
+        }
+        let remove_sorted = |list: &mut Vec<NodeId>, value: NodeId| {
+            if let Ok(pos) = list.binary_search(&value) {
+                list.remove(pos);
+            }
+        };
+        remove_sorted(&mut self.adjacency[a.index()], b);
+        remove_sorted(&mut self.adjacency[b.index()], a);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Returns the sorted neighbour list of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterator over all undirected edges, each reported once with
+    /// `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(a, neighbors)| {
+            let a = NodeId::new(a);
+            neighbors
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Breadth-first distances (in hops) from `source`.
+    ///
+    /// Unreachable nodes get `None`.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.node_count()];
+        let mut queue = VecDeque::new();
+        dist[source.index()] = Some(0);
+        queue.push_back(source);
+        while let Some(current) = queue.pop_front() {
+            let d = dist[current.index()].expect("queued nodes have distances");
+            for &next in self.neighbors(current) {
+                if dist[next.index()].is_none() {
+                    dist[next.index()] = Some(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Breadth-first shortest-path tree rooted at `source`: for every node,
+    /// the predecessor on one shortest path (the root and unreachable nodes
+    /// get `None`).
+    pub fn bfs_tree(&self, source: NodeId) -> Vec<Option<NodeId>> {
+        let mut parent = vec![None; self.node_count()];
+        let mut visited = vec![false; self.node_count()];
+        let mut queue = VecDeque::new();
+        visited[source.index()] = true;
+        queue.push_back(source);
+        while let Some(current) = queue.pop_front() {
+            for &next in self.neighbors(current) {
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    parent[next.index()] = Some(current);
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Returns `true` if every node is reachable from every other node.
+    ///
+    /// The empty graph and the single-node graph are considered connected.
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() <= 1 {
+            return true;
+        }
+        self.bfs_distances(NodeId::new(0))
+            .iter()
+            .all(|d| d.is_some())
+    }
+
+    /// Eccentricity of `node`: the maximum BFS distance to any reachable
+    /// node. Returns `None` if some node is unreachable.
+    pub fn eccentricity(&self, node: NodeId) -> Option<usize> {
+        let distances = self.bfs_distances(node);
+        let mut max = 0usize;
+        for d in distances {
+            max = max.max(d?);
+        }
+        Some(max)
+    }
+
+    /// Graph diameter: the maximum eccentricity over all nodes, or `None` if
+    /// the graph is disconnected (or empty).
+    ///
+    /// Runs one BFS per node — O(n·(n+m)) — which is fine for the network
+    /// sizes the paper's evaluation uses (≈ 1 000 peers).
+    pub fn diameter(&self) -> Option<usize> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let mut diameter = 0usize;
+        for node in self.nodes() {
+            diameter = diameter.max(self.eccentricity(node)?);
+        }
+        Some(diameter)
+    }
+
+    /// Average degree over all nodes (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count as f64 / self.node_count() as f64
+    }
+
+    /// Minimum and maximum degree; `None` for the empty graph.
+    pub fn degree_bounds(&self) -> Option<(usize, usize)> {
+        if self.node_count() == 0 {
+            return None;
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        for node in self.nodes() {
+            let d = self.degree(node);
+            min = min.min(d);
+            max = max.max(d);
+        }
+        Some((min, max))
+    }
+
+    /// Collects the connected component containing `start`.
+    pub fn component_of(&self, start: NodeId) -> Vec<NodeId> {
+        self.bfs_distances(start)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|_| NodeId::new(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(NodeId::new(i - 1), NodeId::new(i));
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.degree_bounds(), None);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = Graph::new(1);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(0));
+        assert_eq!(g.eccentricity(NodeId::new(0)), Some(0));
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.add_edge(NodeId::new(0), NodeId::new(1)), "duplicate edge");
+        assert!(!g.add_edge(NodeId::new(1), NodeId::new(0)), "reverse duplicate");
+        assert!(!g.add_edge(NodeId::new(1), NodeId::new(1)), "self loop");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+
+        assert!(g.remove_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!g.remove_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(5));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId::new(2), NodeId::new(4));
+        g.add_edge(NodeId::new(2), NodeId::new(0));
+        g.add_edge(NodeId::new(2), NodeId::new(3));
+        assert_eq!(
+            g.neighbors(NodeId::new(2)),
+            &[NodeId::new(0), NodeId::new(3), NodeId::new(4)]
+        );
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let dist = g.bfs_distances(NodeId::new(0));
+        assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_tree_parents_point_towards_root() {
+        let g = path_graph(4);
+        let parents = g.bfs_tree(NodeId::new(0));
+        assert_eq!(parents[0], None);
+        assert_eq!(parents[1], Some(NodeId::new(0)));
+        assert_eq!(parents[2], Some(NodeId::new(1)));
+        assert_eq!(parents[3], Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(2), NodeId::new(3));
+        assert!(!g.is_connected());
+        assert_eq!(g.component_of(NodeId::new(0)), vec![NodeId::new(0), NodeId::new(1)]);
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(path_graph(6).diameter(), Some(5));
+
+        let mut cycle = path_graph(6);
+        cycle.add_edge(NodeId::new(5), NodeId::new(0));
+        assert_eq!(cycle.diameter(), Some(3));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_is_none() {
+        let g = Graph::new(3);
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(0), NodeId::new(2));
+        g.add_edge(NodeId::new(0), NodeId::new(3));
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+        assert_eq!(g.degree_bounds(), Some((1, 3)));
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))]
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Link-latency models.
+//!
+//! Message propagation delay is what the deanonymisation attacks of
+//! Biryukov et al. exploit (observer nodes record *when* a transaction
+//! first reaches them), so the simulator lets experiments choose how
+//! latencies are drawn. All models are sampled per transmitted message.
+
+use crate::node::NodeId;
+use crate::time::{SimTime, MILLISECOND};
+use rand::Rng;
+use std::fmt;
+
+/// A model for per-message link latency.
+///
+/// The enum form keeps experiment configurations declarative (and trivially
+/// serialisable into experiment reports).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant {
+        /// Fixed one-way delay.
+        delay: SimTime,
+    },
+    /// Uniformly distributed delay in `[min, max]`.
+    Uniform {
+        /// Minimum one-way delay.
+        min: SimTime,
+        /// Maximum one-way delay (inclusive).
+        max: SimTime,
+    },
+    /// Exponentially distributed delay with the given mean, shifted by a
+    /// fixed propagation floor. This is the classical model for overlay
+    /// links with queueing jitter.
+    Exponential {
+        /// Deterministic propagation floor added to every sample.
+        floor: SimTime,
+        /// Mean of the exponential jitter component.
+        mean: SimTime,
+    },
+}
+
+impl Default for LatencyModel {
+    /// A latency profile resembling a wide-area overlay: 50 ms floor plus
+    /// exponential jitter with a 50 ms mean.
+    fn default() -> Self {
+        LatencyModel::Exponential {
+            floor: 50 * MILLISECOND,
+            mean: 50 * MILLISECOND,
+        }
+    }
+}
+
+impl fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatencyModel::Constant { delay } => write!(f, "constant({delay}us)"),
+            LatencyModel::Uniform { min, max } => write!(f, "uniform({min}..{max}us)"),
+            LatencyModel::Exponential { floor, mean } => {
+                write!(f, "exponential(floor={floor}us,mean={mean}us)")
+            }
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Samples the one-way delay for a message from `from` to `to`.
+    ///
+    /// The endpoints are accepted (though unused by the current models) so
+    /// that future per-link models keep the same call shape.
+    pub fn sample<R: Rng + ?Sized>(&self, _from: NodeId, _to: NodeId, rng: &mut R) -> SimTime {
+        match *self {
+            LatencyModel::Constant { delay } => delay.max(1),
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                rng.gen_range(lo..=hi).max(1)
+            }
+            LatencyModel::Exponential { floor, mean } => {
+                // Inverse-CDF sampling; clamp the uniform draw away from 0
+                // so ln() stays finite.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let jitter = (-u.ln()) * mean as f64;
+                (floor as f64 + jitter).round().max(1.0) as SimTime
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nodes() -> (NodeId, NodeId) {
+        (NodeId::new(0), NodeId::new(1))
+    }
+
+    #[test]
+    fn constant_model_returns_fixed_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = nodes();
+        let model = LatencyModel::Constant { delay: 42 };
+        for _ in 0..10 {
+            assert_eq!(model.sample(a, b, &mut rng), 42);
+        }
+    }
+
+    #[test]
+    fn constant_zero_is_bumped_to_one() {
+        // Zero-latency messages would break causality (a reply could arrive
+        // at the same instant it was triggered), so the model enforces ≥ 1.
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = nodes();
+        assert_eq!(LatencyModel::Constant { delay: 0 }.sample(a, b, &mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_model_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b) = nodes();
+        let model = LatencyModel::Uniform { min: 10, max: 20 };
+        for _ in 0..1000 {
+            let s = model.sample(a, b, &mut rng);
+            assert!((10..=20).contains(&s));
+        }
+    }
+
+    #[test]
+    fn uniform_model_tolerates_swapped_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, b) = nodes();
+        let model = LatencyModel::Uniform { min: 20, max: 10 };
+        let s = model.sample(a, b, &mut rng);
+        assert!((10..=20).contains(&s));
+    }
+
+    #[test]
+    fn exponential_model_respects_floor_and_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b) = nodes();
+        let model = LatencyModel::Exponential { floor: 1000, mean: 500 };
+        let samples: Vec<SimTime> = (0..20_000).map(|_| model.sample(a, b, &mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= 1000));
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        // Expected mean = floor + mean = 1500; allow 5 % sampling error.
+        assert!((mean - 1500.0).abs() < 75.0, "observed mean {mean}");
+    }
+
+    #[test]
+    fn default_model_is_wide_area_profile() {
+        match LatencyModel::default() {
+            LatencyModel::Exponential { floor, mean } => {
+                assert_eq!(floor, 50 * MILLISECOND);
+                assert_eq!(mean, 50 * MILLISECOND);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_fixed_seed() {
+        let (a, b) = nodes();
+        let model = LatencyModel::default();
+        let s1: Vec<SimTime> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| model.sample(a, b, &mut rng)).collect()
+        };
+        let s2: Vec<SimTime> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| model.sample(a, b, &mut rng)).collect()
+        };
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LatencyModel::Constant { delay: 5 }.to_string().contains('5'));
+        assert!(LatencyModel::default().to_string().contains("exponential"));
+    }
+}

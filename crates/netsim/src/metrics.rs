@@ -1,0 +1,204 @@
+//! Simulation metrics.
+//!
+//! Every experiment in the paper's evaluation ultimately reduces to a
+//! handful of aggregates over one simulated broadcast: how many messages of
+//! which kind were sent (§V-A), how many bytes, when each node first
+//! received the transaction (latency / fairness, §II), and which node an
+//! adversary would blame (privacy, §V-B). [`Metrics`] collects the first
+//! three; the optional [`TraceEntry`] log captures the full transmission
+//! trace that the `fnp-adversary` estimators replay.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// One transmitted message, as seen by an omniscient observer.
+///
+/// The adversary crate filters this trace down to what *its* nodes could
+/// actually observe (messages addressed to adversarial nodes); keeping the
+/// full trace in the simulator keeps the protocols themselves oblivious to
+/// the attacker, mirroring the honest-but-curious model of §IV-A.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Time the message was *received*.
+    pub at: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Message kind label (see [`crate::message::Payload::kind`]).
+    pub kind: &'static str,
+    /// Reported wire size of the message in bytes.
+    pub bytes: usize,
+}
+
+/// Aggregated counters for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Total messages transmitted.
+    pub messages_sent: u64,
+    /// Total bytes transmitted (as reported by the payloads).
+    pub bytes_sent: u64,
+    /// Messages grouped by payload kind.
+    pub messages_by_kind: BTreeMap<&'static str, u64>,
+    /// Bytes grouped by payload kind.
+    pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Custom protocol counters recorded via `Context::record`.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// For each node, the time it first marked the broadcast as delivered.
+    pub delivered_at: Vec<Option<SimTime>>,
+    /// Complete transmission trace (only populated when tracing is enabled).
+    pub trace: Vec<TraceEntry>,
+    /// Number of events processed by the simulator.
+    pub events_processed: u64,
+    /// Simulated time at which the run ended.
+    pub finished_at: SimTime,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collection for a network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            delivered_at: vec![None; n],
+            ..Self::default()
+        }
+    }
+
+    /// Records one transmission.
+    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        *self.messages_by_kind.entry(kind).or_insert(0) += 1;
+        *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+    }
+
+    /// Records the first delivery time of the broadcast at `node`.
+    pub(crate) fn record_delivery(&mut self, node: NodeId, at: SimTime) {
+        let slot = &mut self.delivered_at[node.index()];
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+
+    /// Increments a custom counter.
+    pub(crate) fn record_counter(&mut self, name: &'static str, amount: u64) {
+        *self.counters.entry(name).or_insert(0) += amount;
+    }
+
+    /// Number of nodes that have received the broadcast.
+    pub fn delivered_count(&self) -> usize {
+        self.delivered_at.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Fraction of nodes that have received the broadcast, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.delivered_at.is_empty() {
+            return 0.0;
+        }
+        self.delivered_count() as f64 / self.delivered_at.len() as f64
+    }
+
+    /// The time by which `fraction` of all nodes had received the broadcast,
+    /// or `None` if coverage never reached that fraction.
+    ///
+    /// `fraction` is clamped into `[0, 1]`. This is the latency metric used
+    /// by experiment E10 (time to 50 % / 90 % / 100 % coverage).
+    pub fn time_to_coverage(&self, fraction: f64) -> Option<SimTime> {
+        let n = self.delivered_at.len();
+        if n == 0 {
+            return None;
+        }
+        let fraction = fraction.clamp(0.0, 1.0);
+        let needed = (fraction * n as f64).ceil() as usize;
+        if needed == 0 {
+            return Some(0);
+        }
+        let mut times: Vec<SimTime> = self.delivered_at.iter().flatten().copied().collect();
+        if times.len() < needed {
+            return None;
+        }
+        times.sort_unstable();
+        Some(times[needed - 1])
+    }
+
+    /// Messages of one kind (0 if the kind never occurred).
+    pub fn messages_of_kind(&self, kind: &str) -> u64 {
+        self.messages_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Value of a custom counter (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_metrics_are_empty() {
+        let m = Metrics::new(5);
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.delivered_count(), 0);
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.time_to_coverage(0.5), None);
+        assert_eq!(m.messages_of_kind("flood"), 0);
+        assert_eq!(m.counter("whatever"), 0);
+    }
+
+    #[test]
+    fn send_accounting_by_kind() {
+        let mut m = Metrics::new(3);
+        m.record_send("flood", 100);
+        m.record_send("flood", 100);
+        m.record_send("stem", 50);
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 250);
+        assert_eq!(m.messages_of_kind("flood"), 2);
+        assert_eq!(m.messages_of_kind("stem"), 1);
+        assert_eq!(m.bytes_by_kind["flood"], 200);
+    }
+
+    #[test]
+    fn delivery_records_only_first_time() {
+        let mut m = Metrics::new(2);
+        m.record_delivery(NodeId::new(1), 10);
+        m.record_delivery(NodeId::new(1), 20);
+        assert_eq!(m.delivered_at[1], Some(10));
+        assert_eq!(m.delivered_count(), 1);
+        assert_eq!(m.coverage(), 0.5);
+    }
+
+    #[test]
+    fn time_to_coverage_thresholds() {
+        let mut m = Metrics::new(4);
+        m.record_delivery(NodeId::new(0), 5);
+        m.record_delivery(NodeId::new(1), 10);
+        m.record_delivery(NodeId::new(2), 20);
+        // 3 of 4 delivered.
+        assert_eq!(m.time_to_coverage(0.25), Some(5));
+        assert_eq!(m.time_to_coverage(0.5), Some(10));
+        assert_eq!(m.time_to_coverage(0.75), Some(20));
+        assert_eq!(m.time_to_coverage(1.0), None);
+        assert_eq!(m.time_to_coverage(0.0), Some(0));
+        // Out-of-range fractions clamp.
+        assert_eq!(m.time_to_coverage(2.0), None);
+        assert_eq!(m.time_to_coverage(-1.0), Some(0));
+    }
+
+    #[test]
+    fn custom_counters_accumulate() {
+        let mut m = Metrics::new(1);
+        m.record_counter("dc-collision", 1);
+        m.record_counter("dc-collision", 2);
+        assert_eq!(m.counter("dc-collision"), 3);
+    }
+
+    #[test]
+    fn coverage_of_empty_network_is_zero() {
+        let m = Metrics::new(0);
+        assert_eq!(m.coverage(), 0.0);
+        assert_eq!(m.time_to_coverage(0.5), None);
+    }
+}

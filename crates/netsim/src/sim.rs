@@ -1,0 +1,707 @@
+//! The discrete-event simulator.
+//!
+//! A [`Simulator`] owns a connected overlay [`Graph`], one protocol state
+//! machine per node, a [`LatencyModel`] and an event queue. Protocols are
+//! written as implementations of [`ProtocolNode`]: plain state machines that
+//! react to message and timer events through a [`Context`] handle, exactly
+//! the way a real networked node reacts to socket readiness and timeouts.
+//! The simulator delivers every scheduled event in timestamp order, so a
+//! whole experiment — thousands of broadcasts over thousands of nodes — is
+//! deterministic under a fixed seed.
+//!
+//! # Examples
+//!
+//! A two-node "ping" protocol:
+//!
+//! ```
+//! use fnp_netsim::{
+//!     Context, Graph, LatencyModel, NodeId, Payload, ProtocolNode, SimConfig, Simulator,
+//! };
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping;
+//! impl Payload for Ping {
+//!     fn kind(&self) -> &'static str { "ping" }
+//! }
+//!
+//! struct Node;
+//! impl ProtocolNode for Node {
+//!     type Message = Ping;
+//!     fn on_message(&mut self, _from: NodeId, _msg: Ping, ctx: &mut Context<'_, Ping>) {
+//!         ctx.mark_delivered();
+//!     }
+//! }
+//!
+//! let mut graph = Graph::new(2);
+//! graph.add_edge(NodeId::new(0), NodeId::new(1));
+//! let mut sim = Simulator::new(graph, vec![Node, Node], SimConfig::default());
+//! sim.trigger(NodeId::new(0), |_node, ctx| {
+//!     let peer = ctx.neighbors()[0];
+//!     ctx.send(peer, Ping);
+//! });
+//! let metrics = sim.run();
+//! assert_eq!(metrics.messages_sent, 1);
+//! assert_eq!(metrics.delivered_count(), 1);
+//! ```
+
+use crate::churn::ChurnSchedule;
+use crate::graph::Graph;
+use crate::latency::LatencyModel;
+use crate::message::Payload;
+use crate::metrics::{Metrics, TraceEntry};
+use crate::node::NodeId;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Link latency model used for every transmission.
+    pub latency: LatencyModel,
+    /// Seed of the simulation-wide random number generator.
+    pub seed: u64,
+    /// Whether to record the full transmission trace (needed by the
+    /// adversary estimators; costs memory proportional to message count).
+    pub record_trace: bool,
+    /// Hard cap on processed events, guarding against runaway protocols.
+    pub max_events: u64,
+    /// Hard cap on simulated time; events scheduled later are dropped.
+    pub max_time: SimTime,
+    /// Outage schedule injected into the run (empty = no churn). While a
+    /// node is down it neither receives messages nor fires timers; dropped
+    /// messages are counted under the `"dropped-offline"` counter.
+    pub churn: ChurnSchedule,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::default(),
+            seed: 0,
+            record_trace: false,
+            max_events: 50_000_000,
+            max_time: SimTime::MAX,
+            churn: ChurnSchedule::none(),
+        }
+    }
+}
+
+/// Handle through which a protocol state machine interacts with the world.
+///
+/// A context is only valid for the duration of one event handler; every
+/// action it records (sends, timers, deliveries, counters) is applied by the
+/// simulator when the handler returns.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    neighbors: &'a [NodeId],
+    node_count: usize,
+    rng: &'a mut StdRng,
+    actions: &'a mut Vec<Action<M>>,
+}
+
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeId, message: M },
+    Timer { delay: SimTime, tag: u64 },
+    Deliver,
+    Counter { name: &'static str, amount: u64 },
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The node this handler is running on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Overlay neighbours of this node, in deterministic (sorted) order.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Total number of nodes in the simulated network.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The simulation-wide random number generator.
+    ///
+    /// All protocol randomness must come from this generator to keep runs
+    /// reproducible under a fixed [`SimConfig::seed`].
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `message` to `to`. The simulator samples the link latency and
+    /// delivers the message via the recipient's
+    /// [`ProtocolNode::on_message`].
+    pub fn send(&mut self, to: NodeId, message: M) {
+        self.actions.push(Action::Send { to, message });
+    }
+
+    /// Sends a clone of `message` to every overlay neighbour except those in
+    /// `excluded`.
+    pub fn send_to_neighbors_except(&mut self, message: M, excluded: &[NodeId])
+    where
+        M: Clone,
+    {
+        let targets: Vec<NodeId> = self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|n| !excluded.contains(n))
+            .collect();
+        for target in targets {
+            self.send(target, message.clone());
+        }
+    }
+
+    /// Schedules [`ProtocolNode::on_timer`] on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.actions.push(Action::Timer { delay, tag });
+    }
+
+    /// Marks this node as having received (accepted) the broadcast payload.
+    ///
+    /// The first call per node is recorded in
+    /// [`Metrics::delivered_at`](crate::metrics::Metrics); later calls are
+    /// ignored.
+    pub fn mark_delivered(&mut self) {
+        self.actions.push(Action::Deliver);
+    }
+
+    /// Increments a custom experiment counter by 1.
+    pub fn record(&mut self, name: &'static str) {
+        self.record_many(name, 1);
+    }
+
+    /// Increments a custom experiment counter by `amount`.
+    pub fn record_many(&mut self, name: &'static str, amount: u64) {
+        self.actions.push(Action::Counter { name, amount });
+    }
+}
+
+/// A per-node protocol state machine.
+///
+/// Implementations hold whatever per-node state the protocol needs (seen
+/// transaction sets, virtual-source flags, DC-net round state, …) and react
+/// to events through the [`Context`].
+pub trait ProtocolNode: Sized {
+    /// The message type this protocol exchanges.
+    type Message: Payload;
+
+    /// Called once per node before any event is processed.
+    fn on_init(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` arrives at this node.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
+
+    /// Called when a timer previously set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Self::Message>) {
+        let _ = (tag, ctx);
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, message: M, bytes: usize, kind: &'static str },
+    Timer { node: NodeId, tag: u64 },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The discrete-event simulator; see the [module documentation](self) for an
+/// overview and example.
+#[derive(Debug)]
+pub struct Simulator<N: ProtocolNode> {
+    graph: Graph,
+    nodes: Vec<N>,
+    config: SimConfig,
+    queue: BinaryHeap<Reverse<Event<N::Message>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    metrics: Metrics,
+    initialized: bool,
+}
+
+impl<N: ProtocolNode> Simulator<N> {
+    /// Creates a simulator over `graph` with one state machine per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the number of graph nodes.
+    pub fn new(graph: Graph, nodes: Vec<N>, config: SimConfig) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            nodes.len(),
+            "need exactly one protocol state machine per graph node ({} vs {})",
+            graph.node_count(),
+            nodes.len()
+        );
+        let metrics = Metrics::new(graph.node_count());
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            graph,
+            nodes,
+            config,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            rng,
+            metrics,
+            initialized: false,
+        }
+    }
+
+    /// The overlay graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Immutable access to all node states, indexed by [`NodeId::index`].
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consumes the simulator, returning the node states and metrics.
+    pub fn into_parts(self) -> (Vec<N>, Metrics) {
+        (self.nodes, self.metrics)
+    }
+
+    /// Runs `on_init` on every node (idempotent; invoked automatically by
+    /// [`Simulator::run`] and [`Simulator::trigger`]).
+    fn ensure_initialized(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for index in 0..self.nodes.len() {
+            self.dispatch(NodeId::new(index), |node, ctx| node.on_init(ctx));
+        }
+    }
+
+    /// Invokes `f` on the state machine of `node` with a live context, then
+    /// applies all recorded actions. This is how experiments start a
+    /// broadcast: trigger the originator and let it send its first messages.
+    pub fn trigger<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, N::Message>),
+    {
+        self.ensure_initialized();
+        self.dispatch(node, f);
+    }
+
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, N::Message>),
+    {
+        let mut actions: Vec<Action<N::Message>> = Vec::new();
+        {
+            let neighbors = self.graph.neighbors(node);
+            let mut ctx = Context {
+                node,
+                now: self.now,
+                neighbors,
+                node_count: self.graph.node_count(),
+                rng: &mut self.rng,
+                actions: &mut actions,
+            };
+            f(&mut self.nodes[node.index()], &mut ctx);
+        }
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<N::Message>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => {
+                    let delay = self.config.latency.sample(node, to, &mut self.rng);
+                    let at = self.now.saturating_add(delay);
+                    let kind = message.kind();
+                    let bytes = message.size_bytes();
+                    self.metrics.record_send(kind, bytes);
+                    if at <= self.config.max_time {
+                        let seq = self.next_seq();
+                        self.push_event(Event {
+                            at,
+                            seq,
+                            kind: EventKind::Deliver { from: node, to, message, bytes, kind },
+                        });
+                    }
+                }
+                Action::Timer { delay, tag } => {
+                    let at = self.now.saturating_add(delay.max(1));
+                    if at <= self.config.max_time {
+                        let seq = self.next_seq();
+                        self.push_event(Event {
+                            at,
+                            seq,
+                            kind: EventKind::Timer { node, tag },
+                        });
+                    }
+                }
+                Action::Deliver => {
+                    self.metrics.record_delivery(node, self.now);
+                }
+                Action::Counter { name, amount } => {
+                    self.metrics.record_counter(name, amount);
+                }
+            }
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    fn push_event(&mut self, event: Event<N::Message>) {
+        self.queue.push(Reverse(event));
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty or
+    /// a configured limit has been reached.
+    pub fn step(&mut self) -> bool {
+        self.ensure_initialized();
+        if self.metrics.events_processed >= self.config.max_events {
+            return false;
+        }
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "event queue must be monotone");
+        self.now = event.at;
+        self.metrics.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver { from, to, message, bytes, kind } => {
+                if self.config.churn.is_down(to, self.now) {
+                    self.metrics.record_counter("dropped-offline", 1);
+                    return true;
+                }
+                if self.config.record_trace {
+                    self.metrics.trace.push(TraceEntry {
+                        at: self.now,
+                        from,
+                        to,
+                        kind,
+                        bytes,
+                    });
+                }
+                self.dispatch(to, |node, ctx| node.on_message(from, message, ctx));
+            }
+            EventKind::Timer { node, tag } => {
+                if self.config.churn.is_down(node, self.now) {
+                    self.metrics.record_counter("dropped-offline", 1);
+                    return true;
+                }
+                self.dispatch(node, |n, ctx| n.on_timer(tag, ctx));
+            }
+        }
+        true
+    }
+
+    /// Runs the simulation to quiescence (empty event queue) or until a
+    /// configured limit is hit, and returns the collected metrics.
+    pub fn run(&mut self) -> &Metrics {
+        self.ensure_initialized();
+        while self.step() {}
+        self.metrics.finished_at = self.now;
+        &self.metrics
+    }
+
+    /// Runs the simulation until simulated time `deadline` (inclusive),
+    /// leaving later events queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> &Metrics {
+        self.ensure_initialized();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(event)) if event.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.metrics.finished_at = self.now;
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::TestPayload;
+    use crate::topology;
+
+    /// A flooding node used to exercise the simulator machinery itself.
+    #[derive(Default)]
+    struct FloodNode {
+        seen: bool,
+    }
+
+    impl ProtocolNode for FloodNode {
+        type Message = TestPayload;
+
+        fn on_message(
+            &mut self,
+            from: NodeId,
+            message: TestPayload,
+            ctx: &mut Context<'_, TestPayload>,
+        ) {
+            if self.seen {
+                return;
+            }
+            self.seen = true;
+            ctx.mark_delivered();
+            ctx.send_to_neighbors_except(message, &[from]);
+        }
+    }
+
+    fn flood_sim(n: usize, seed: u64) -> Simulator<FloodNode> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = topology::random_regular(n, 4, &mut rng).unwrap();
+        let nodes = (0..n).map(|_| FloodNode::default()).collect();
+        Simulator::new(
+            graph,
+            nodes,
+            SimConfig {
+                seed,
+                record_trace: true,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    fn start_flood(sim: &mut Simulator<FloodNode>, origin: NodeId) {
+        sim.trigger(origin, |node, ctx| {
+            node.seen = true;
+            ctx.mark_delivered();
+            ctx.send_to_neighbors_except(TestPayload::new("flood", 250), &[]);
+        });
+    }
+
+    #[test]
+    fn flood_reaches_every_node() {
+        let mut sim = flood_sim(100, 1);
+        start_flood(&mut sim, NodeId::new(0));
+        let edge_count = sim.graph().edge_count() as u64;
+        let node_count = sim.graph().node_count() as u64;
+        let metrics = sim.run();
+        assert_eq!(metrics.delivered_count(), 100);
+        assert_eq!(metrics.coverage(), 1.0);
+        // Each node forwards to (deg - 1) neighbours except the origin which
+        // uses deg; total messages are bounded by 2 * |E|.
+        assert!(metrics.messages_sent <= 2 * edge_count);
+        assert!(metrics.messages_sent >= node_count - 1);
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_fixed_seed() {
+        let run = |seed| {
+            let mut sim = flood_sim(60, seed);
+            start_flood(&mut sim, NodeId::new(3));
+            let m = sim.run().clone();
+            (m.messages_sent, m.delivered_at.clone(), m.finished_at)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn trace_is_recorded_when_enabled() {
+        let mut sim = flood_sim(30, 2);
+        start_flood(&mut sim, NodeId::new(0));
+        let metrics = sim.run();
+        assert_eq!(metrics.trace.len() as u64, metrics.messages_sent);
+        // Trace times are non-decreasing because it is filled in delivery order.
+        assert!(metrics.trace.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(metrics.trace.iter().all(|t| t.kind == "flood" && t.bytes == 250));
+    }
+
+    #[test]
+    fn trace_not_recorded_when_disabled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graph = topology::random_regular(20, 4, &mut rng).unwrap();
+        let nodes = (0..20).map(|_| FloodNode::default()).collect();
+        let mut sim = Simulator::new(graph, nodes, SimConfig::default());
+        start_flood(&mut sim, NodeId::new(0));
+        assert!(sim.run().trace.is_empty());
+    }
+
+    #[test]
+    fn max_events_limit_stops_the_run() {
+        let mut sim = {
+            let mut rng = StdRng::seed_from_u64(4);
+            let graph = topology::random_regular(200, 6, &mut rng).unwrap();
+            let nodes = (0..200).map(|_| FloodNode::default()).collect();
+            Simulator::new(
+                graph,
+                nodes,
+                SimConfig {
+                    max_events: 50,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        start_flood(&mut sim, NodeId::new(0));
+        let metrics = sim.run();
+        assert!(metrics.events_processed <= 50);
+        assert!(metrics.delivered_count() < 200);
+    }
+
+    #[test]
+    fn max_time_limit_drops_late_events() {
+        let graph = topology::line(50).unwrap();
+        let nodes = (0..50).map(|_| FloodNode::default()).collect();
+        let mut sim = Simulator::new(
+            graph,
+            nodes,
+            SimConfig {
+                latency: LatencyModel::Constant { delay: 1000 },
+                max_time: 10_000,
+                ..SimConfig::default()
+            },
+        );
+        start_flood(&mut sim, NodeId::new(0));
+        let metrics = sim.run();
+        // Along a line with 1 ms hops and a 10 ms horizon only ~10 hops complete.
+        assert!(metrics.delivered_count() <= 12);
+        assert!(metrics.finished_at <= 10_000);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let graph = topology::line(10).unwrap();
+        let nodes = (0..10).map(|_| FloodNode::default()).collect();
+        let mut sim = Simulator::new(
+            graph,
+            nodes,
+            SimConfig {
+                latency: LatencyModel::Constant { delay: 100 },
+                ..SimConfig::default()
+            },
+        );
+        start_flood(&mut sim, NodeId::new(0));
+        let mid = sim.run_until(450).delivered_count();
+        assert!(mid < 10, "only part of the line should be covered, got {mid}");
+        let full = sim.run().delivered_count();
+        assert_eq!(full, 10);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl ProtocolNode for TimerNode {
+            type Message = TestPayload;
+            fn on_init(&mut self, ctx: &mut Context<'_, TestPayload>) {
+                ctx.set_timer(300, 3);
+                ctx.set_timer(100, 1);
+                ctx.set_timer(200, 2);
+            }
+            fn on_message(&mut self, _: NodeId, _: TestPayload, _: &mut Context<'_, TestPayload>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, TestPayload>) {
+                self.fired.push(tag);
+                if tag == 3 {
+                    ctx.record("last-timer");
+                }
+            }
+        }
+        let graph = Graph::new(1);
+        let mut sim = Simulator::new(graph, vec![TimerNode { fired: vec![] }], SimConfig::default());
+        let metrics = sim.run();
+        assert_eq!(metrics.counter("last-timer"), 1);
+        assert_eq!(sim.node(NodeId::new(0)).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn counters_and_custom_records() {
+        struct CounterNode;
+        impl ProtocolNode for CounterNode {
+            type Message = TestPayload;
+            fn on_init(&mut self, ctx: &mut Context<'_, TestPayload>) {
+                ctx.record("init");
+                ctx.record_many("weighted", 5);
+            }
+            fn on_message(&mut self, _: NodeId, _: TestPayload, _: &mut Context<'_, TestPayload>) {}
+        }
+        let mut sim = Simulator::new(Graph::new(3), vec![CounterNode, CounterNode, CounterNode], SimConfig::default());
+        let metrics = sim.run();
+        assert_eq!(metrics.counter("init"), 3);
+        assert_eq!(metrics.counter("weighted"), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol state machine per graph node")]
+    fn mismatched_node_count_panics() {
+        let _ = Simulator::new(Graph::new(3), vec![FloodNode::default()], SimConfig::default());
+    }
+
+    #[test]
+    fn into_parts_returns_final_state() {
+        let mut sim = flood_sim(10, 6);
+        start_flood(&mut sim, NodeId::new(0));
+        sim.run();
+        let (nodes, metrics) = sim.into_parts();
+        assert_eq!(nodes.len(), 10);
+        assert!(nodes.iter().all(|n| n.seen));
+        assert_eq!(metrics.delivered_count(), 10);
+    }
+}

@@ -1,0 +1,48 @@
+//! Simulated time.
+//!
+//! The simulator measures time in integer **microseconds** ([`SimTime`]).
+//! Integer timestamps keep the event queue ordering exact and the whole
+//! simulation bit-for-bit reproducible under a fixed seed, which floating
+//! point arrival times would not guarantee across platforms.
+
+/// A point in simulated time, in microseconds since simulation start.
+pub type SimTime = u64;
+
+/// One millisecond in [`SimTime`] units.
+pub const MILLISECOND: SimTime = 1_000;
+
+/// One second in [`SimTime`] units.
+pub const SECOND: SimTime = 1_000_000;
+
+/// Converts a [`SimTime`] to fractional milliseconds (for reporting only).
+pub fn as_millis(t: SimTime) -> f64 {
+    t as f64 / MILLISECOND as f64
+}
+
+/// Converts fractional milliseconds to [`SimTime`], rounding to the nearest
+/// microsecond.
+pub fn from_millis(ms: f64) -> SimTime {
+    (ms * MILLISECOND as f64).round().max(0.0) as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(SECOND, 1000 * MILLISECOND);
+    }
+
+    #[test]
+    fn millis_round_trip() {
+        assert_eq!(as_millis(1_500), 1.5);
+        assert_eq!(from_millis(1.5), 1_500);
+        assert_eq!(from_millis(as_millis(123_456)), 123_456);
+    }
+
+    #[test]
+    fn negative_millis_clamp_to_zero() {
+        assert_eq!(from_millis(-3.0), 0);
+    }
+}

@@ -1,0 +1,646 @@
+//! Topology generators for the simulated peer-to-peer overlay.
+//!
+//! The paper's evaluation (§V-A) simulates dissemination over a network of
+//! 1 000 peers; Bitcoin-like overlays are commonly modelled as roughly
+//! regular random graphs with degree around 8 (each peer keeps 8 outbound
+//! connections). This module provides that model plus the other standard
+//! families used by the adaptive-diffusion and Dandelion papers the
+//! protocol builds on: Erdős–Rényi, Watts–Strogatz, Barabási–Albert, rings,
+//! lines, complete graphs, stars and regular trees.
+//!
+//! All generators are deterministic under a caller-provided RNG, and all of
+//! them guarantee a *connected* result (retrying or patching where the raw
+//! random model could produce disconnected graphs) because the dissemination
+//! protocols need every node to be reachable.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// The topology families supported by the simulator.
+///
+/// The enum form (rather than free functions only) lets experiment configs
+/// name a topology declaratively and sweep over families.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Topology {
+    /// Random `degree`-regular graph (degree · n must be even).
+    RandomRegular {
+        /// Degree of every node.
+        degree: usize,
+    },
+    /// Erdős–Rényi G(n, p) with edge probability `edge_probability`.
+    ErdosRenyi {
+        /// Independent probability of each possible edge.
+        edge_probability: f64,
+    },
+    /// Watts–Strogatz small-world graph: ring lattice with `k` nearest
+    /// neighbours, each edge rewired with probability `rewire_probability`.
+    WattsStrogatz {
+        /// Even number of lattice neighbours per node.
+        k: usize,
+        /// Probability of rewiring each lattice edge.
+        rewire_probability: f64,
+    },
+    /// Barabási–Albert preferential attachment with `attachment` edges per
+    /// new node.
+    BarabasiAlbert {
+        /// Edges added by every arriving node.
+        attachment: usize,
+    },
+    /// Simple cycle over all nodes.
+    Ring,
+    /// Simple path (line graph) over all nodes.
+    Line,
+    /// Complete graph.
+    Complete,
+    /// Star: node 0 connected to every other node.
+    Star,
+    /// Complete `arity`-ary tree rooted at node 0.
+    Tree {
+        /// Children per internal node.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::RandomRegular { degree } => write!(f, "random-regular(d={degree})"),
+            Topology::ErdosRenyi { edge_probability } => write!(f, "erdos-renyi(p={edge_probability})"),
+            Topology::WattsStrogatz { k, rewire_probability } => {
+                write!(f, "watts-strogatz(k={k},p={rewire_probability})")
+            }
+            Topology::BarabasiAlbert { attachment } => write!(f, "barabasi-albert(m={attachment})"),
+            Topology::Ring => write!(f, "ring"),
+            Topology::Line => write!(f, "line"),
+            Topology::Complete => write!(f, "complete"),
+            Topology::Star => write!(f, "star"),
+            Topology::Tree { arity } => write!(f, "tree(arity={arity})"),
+        }
+    }
+}
+
+/// Error produced when a topology cannot be generated with the requested
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateTopologyError {
+    /// The parameter combination is invalid (e.g. odd `n * degree` for a
+    /// regular graph, degree ≥ n, zero nodes).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The randomised generator failed to produce a valid connected graph
+    /// within its retry budget.
+    GenerationFailed {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GenerateTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateTopologyError::InvalidParameters { reason } => {
+                write!(f, "invalid topology parameters: {reason}")
+            }
+            GenerateTopologyError::GenerationFailed { attempts } => {
+                write!(f, "failed to generate a connected topology after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateTopologyError {}
+
+impl Topology {
+    /// Generates a connected graph with `n` nodes from this topology family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateTopologyError::InvalidParameters`] for impossible
+    /// parameter combinations and [`GenerateTopologyError::GenerationFailed`]
+    /// if the randomised construction repeatedly fails (pathological
+    /// parameters such as extremely sparse Erdős–Rényi graphs).
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Graph, GenerateTopologyError> {
+        match *self {
+            Topology::RandomRegular { degree } => random_regular(n, degree, rng),
+            Topology::ErdosRenyi { edge_probability } => erdos_renyi(n, edge_probability, rng),
+            Topology::WattsStrogatz { k, rewire_probability } => {
+                watts_strogatz(n, k, rewire_probability, rng)
+            }
+            Topology::BarabasiAlbert { attachment } => barabasi_albert(n, attachment, rng),
+            Topology::Ring => ring(n),
+            Topology::Line => line(n),
+            Topology::Complete => complete(n),
+            Topology::Star => star(n),
+            Topology::Tree { arity } => tree(n, arity),
+        }
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> GenerateTopologyError {
+    GenerateTopologyError::InvalidParameters {
+        reason: reason.into(),
+    }
+}
+
+fn require_nodes(n: usize) -> Result<(), GenerateTopologyError> {
+    if n == 0 {
+        Err(invalid("topology requires at least one node"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Simple path 0 – 1 – 2 – … – (n-1).
+pub fn line(n: usize) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId::new(i - 1), NodeId::new(i));
+    }
+    Ok(g)
+}
+
+/// Cycle over all `n` nodes (requires `n >= 3` to be a simple cycle; `n` of
+/// 1 or 2 degenerate to a point / single edge).
+pub fn ring(n: usize) -> Result<Graph, GenerateTopologyError> {
+    let mut g = line(n)?;
+    if n >= 3 {
+        g.add_edge(NodeId::new(n - 1), NodeId::new(0));
+    }
+    Ok(g)
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete(n: usize) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    Ok(g)
+}
+
+/// Star with node 0 as hub.
+pub fn star(n: usize) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(NodeId::new(0), NodeId::new(i));
+    }
+    Ok(g)
+}
+
+/// Complete `arity`-ary tree: node `i`'s children are `arity*i + 1 ..= arity*i + arity`.
+pub fn tree(n: usize, arity: usize) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    if arity == 0 {
+        return Err(invalid("tree arity must be at least 1"));
+    }
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for c in 1..=arity {
+            let child = arity * i + c;
+            if child < n {
+                g.add_edge(NodeId::new(i), NodeId::new(child));
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Erdős–Rényi G(n, p), retried until connected (up to 50 attempts).
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(invalid(format!("edge probability {p} outside [0, 1]")));
+    }
+    const ATTEMPTS: usize = 50;
+    for _ in 0..ATTEMPTS {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(NodeId::new(i), NodeId::new(j));
+                }
+            }
+        }
+        if g.is_connected() {
+            return Ok(g);
+        }
+    }
+    Err(GenerateTopologyError::GenerationFailed { attempts: ATTEMPTS })
+}
+
+/// Random `degree`-regular graph via the pairing/configuration model,
+/// retried until simple and connected.
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    degree: usize,
+    rng: &mut R,
+) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    if degree == 0 && n > 1 {
+        return Err(invalid("regular degree 0 cannot be connected"));
+    }
+    if degree >= n {
+        return Err(invalid(format!("degree {degree} must be smaller than n = {n}")));
+    }
+    if (n * degree) % 2 != 0 {
+        return Err(invalid(format!("n * degree = {} must be even", n * degree)));
+    }
+    if n == 1 {
+        return Ok(Graph::new(1));
+    }
+
+    const ATTEMPTS: usize = 50;
+    for _ in 0..ATTEMPTS {
+        // Configuration model: each node contributes `degree` stubs; a random
+        // perfect matching over stubs yields an edge multiset which is then
+        // repaired into a simple graph by double edge swaps (self-loops and
+        // parallel edges are swapped against randomly chosen good edges).
+        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat(i).take(degree)).collect();
+        stubs.shuffle(rng);
+        let mut edges: Vec<(usize, usize)> =
+            stubs.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
+
+        let mut multiplicity = std::collections::HashMap::new();
+        let key = |a: usize, b: usize| if a <= b { (a, b) } else { (b, a) };
+        for &(a, b) in &edges {
+            *multiplicity.entry(key(a, b)).or_insert(0usize) += 1;
+        }
+        let is_bad = |a: usize, b: usize, multiplicity: &std::collections::HashMap<(usize, usize), usize>| {
+            a == b || multiplicity.get(&key(a, b)).copied().unwrap_or(0) > 1
+        };
+
+        // Repair loop: repeatedly swap a bad edge against a random edge.
+        let mut repaired = true;
+        let mut budget = 200 * edges.len().max(1);
+        loop {
+            let bad_index = edges
+                .iter()
+                .position(|&(a, b)| is_bad(a, b, &multiplicity));
+            let Some(i) = bad_index else { break };
+            if budget == 0 {
+                repaired = false;
+                break;
+            }
+            budget -= 1;
+            let j = rng.gen_range(0..edges.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            // Propose (a, b), (c, d) -> (a, d), (c, b).
+            if a == d || c == b {
+                continue;
+            }
+            let new_1 = key(a, d);
+            let new_2 = key(c, b);
+            if multiplicity.get(&new_1).copied().unwrap_or(0) > 0
+                || multiplicity.get(&new_2).copied().unwrap_or(0) > 0
+                || new_1 == new_2
+            {
+                continue;
+            }
+            // Apply the swap.
+            *multiplicity.get_mut(&key(a, b)).expect("edge present") -= 1;
+            *multiplicity.get_mut(&key(c, d)).expect("edge present") -= 1;
+            *multiplicity.entry(new_1).or_insert(0) += 1;
+            *multiplicity.entry(new_2).or_insert(0) += 1;
+            edges[i] = (a, d);
+            edges[j] = (c, b);
+        }
+        if !repaired {
+            continue;
+        }
+
+        let mut g = Graph::new(n);
+        let mut simple = true;
+        for (a, b) in edges {
+            if !g.add_edge(NodeId::new(a), NodeId::new(b)) {
+                simple = false;
+                break;
+            }
+        }
+        if simple && g.is_connected() {
+            return Ok(g);
+        }
+    }
+    Err(GenerateTopologyError::GenerationFailed { attempts: ATTEMPTS })
+}
+
+/// Watts–Strogatz small-world graph, patched to stay connected.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    rewire_probability: f64,
+    rng: &mut R,
+) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    if k % 2 != 0 {
+        return Err(invalid(format!("lattice neighbour count k = {k} must be even")));
+    }
+    if k >= n {
+        return Err(invalid(format!("k = {k} must be smaller than n = {n}")));
+    }
+    if !(0.0..=1.0).contains(&rewire_probability) {
+        return Err(invalid(format!(
+            "rewire probability {rewire_probability} outside [0, 1]"
+        )));
+    }
+
+    const ATTEMPTS: usize = 50;
+    for _ in 0..ATTEMPTS {
+        // Start from the ring lattice.
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            for offset in 1..=(k / 2) {
+                let j = (i + offset) % n;
+                g.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+        // Rewire each lattice edge (i, i+offset) with the given probability.
+        for i in 0..n {
+            for offset in 1..=(k / 2) {
+                let j = (i + offset) % n;
+                if !rng.gen_bool(rewire_probability) {
+                    continue;
+                }
+                // Pick a new endpoint distinct from i and not already adjacent.
+                let candidate = NodeId::new(rng.gen_range(0..n));
+                if candidate.index() == i || g.has_edge(NodeId::new(i), candidate) {
+                    continue;
+                }
+                if g.remove_edge(NodeId::new(i), NodeId::new(j)) {
+                    g.add_edge(NodeId::new(i), candidate);
+                }
+            }
+        }
+        if g.is_connected() {
+            return Ok(g);
+        }
+    }
+    Err(GenerateTopologyError::GenerationFailed { attempts: ATTEMPTS })
+}
+
+/// Barabási–Albert preferential attachment graph.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    attachment: usize,
+    rng: &mut R,
+) -> Result<Graph, GenerateTopologyError> {
+    require_nodes(n)?;
+    if attachment == 0 {
+        return Err(invalid("attachment count must be at least 1"));
+    }
+    if attachment >= n {
+        return Err(invalid(format!(
+            "attachment count {attachment} must be smaller than n = {n}"
+        )));
+    }
+
+    let mut g = Graph::new(n);
+    // Seed clique over the first `attachment + 1` nodes keeps the start connected.
+    let seed = attachment + 1;
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            g.add_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    // Degree-proportional sampling via a repeated-endpoints list.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for (a, b) in g.edges().collect::<Vec<_>>() {
+        endpoints.push(a.index());
+        endpoints.push(b.index());
+    }
+    for new_node in seed..n {
+        let mut targets = std::collections::HashSet::new();
+        let mut guard = 0usize;
+        while targets.len() < attachment && guard < 10_000 {
+            guard += 1;
+            let target = *endpoints
+                .as_slice()
+                .choose(rng)
+                .expect("endpoint list is never empty after seeding");
+            if target != new_node {
+                targets.insert(target);
+            }
+        }
+        for &target in &targets {
+            if g.add_edge(NodeId::new(new_node), NodeId::new(target)) {
+                endpoints.push(new_node);
+                endpoints.push(target);
+            }
+        }
+    }
+    debug_assert!(g.is_connected());
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let l = line(5).unwrap();
+        assert_eq!(l.edge_count(), 4);
+        assert_eq!(l.diameter(), Some(4));
+
+        let r = ring(5).unwrap();
+        assert_eq!(r.edge_count(), 5);
+        assert_eq!(r.diameter(), Some(2));
+    }
+
+    #[test]
+    fn ring_small_cases() {
+        assert_eq!(ring(1).unwrap().edge_count(), 0);
+        assert_eq!(ring(2).unwrap().edge_count(), 1);
+        assert_eq!(ring(3).unwrap().edge_count(), 3);
+    }
+
+    #[test]
+    fn complete_and_star_shapes() {
+        let c = complete(6).unwrap();
+        assert_eq!(c.edge_count(), 15);
+        assert_eq!(c.diameter(), Some(1));
+
+        let s = star(6).unwrap();
+        assert_eq!(s.edge_count(), 5);
+        assert_eq!(s.degree(NodeId::new(0)), 5);
+        assert_eq!(s.diameter(), Some(2));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = tree(7, 2).unwrap();
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(NodeId::new(0)), 2);
+        assert_eq!(t.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(3), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn tree_rejects_zero_arity() {
+        assert!(matches!(
+            tree(5, 0),
+            Err(GenerateTopologyError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(line(0).is_err());
+        assert!(complete(0).is_err());
+        assert!(erdos_renyi(0, 0.5, &mut rng(1)).is_err());
+    }
+
+    #[test]
+    fn random_regular_produces_regular_connected_graphs() {
+        let mut r = rng(11);
+        for (n, d) in [(10, 3), (50, 4), (100, 8)] {
+            let g = random_regular(n, d, &mut r).unwrap();
+            assert!(g.is_connected());
+            for node in g.nodes() {
+                assert_eq!(g.degree(node), d, "node {node} in {n}-node {d}-regular graph");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_parameters() {
+        let mut r = rng(1);
+        assert!(random_regular(5, 3, &mut r).is_err(), "odd n*d");
+        assert!(random_regular(5, 5, &mut r).is_err(), "degree >= n");
+        assert!(random_regular(5, 0, &mut r).is_err(), "degree 0");
+    }
+
+    #[test]
+    fn erdos_renyi_connected_and_sized() {
+        let mut r = rng(2);
+        let g = erdos_renyi(80, 0.1, &mut r).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 80);
+        // Expected edges ≈ p * n(n-1)/2 = 316; allow a generous band.
+        assert!(g.edge_count() > 150 && g.edge_count() < 550, "{}", g.edge_count());
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_probability() {
+        let mut r = rng(3);
+        assert!(erdos_renyi(10, 1.5, &mut r).is_err());
+        assert!(erdos_renyi(10, -0.1, &mut r).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_sparse_fails_gracefully() {
+        let mut r = rng(4);
+        let result = erdos_renyi(100, 0.0, &mut r);
+        assert!(matches!(result, Err(GenerateTopologyError::GenerationFailed { .. })));
+    }
+
+    #[test]
+    fn watts_strogatz_connected_with_expected_edge_count() {
+        let mut r = rng(5);
+        let g = watts_strogatz(100, 6, 0.1, &mut r).unwrap();
+        assert!(g.is_connected());
+        // Rewiring never changes the edge count (only endpoints).
+        assert_eq!(g.edge_count(), 100 * 3);
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_bad_parameters() {
+        let mut r = rng(6);
+        assert!(watts_strogatz(10, 3, 0.1, &mut r).is_err(), "odd k");
+        assert!(watts_strogatz(10, 10, 0.1, &mut r).is_err(), "k >= n");
+        assert!(watts_strogatz(10, 4, 1.2, &mut r).is_err(), "p > 1");
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_skewed() {
+        let mut r = rng(7);
+        let g = barabasi_albert(200, 3, &mut r).unwrap();
+        assert!(g.is_connected());
+        let (min, max) = g.degree_bounds().unwrap();
+        assert!(min >= 1);
+        // Preferential attachment produces hubs far above the minimum degree.
+        assert!(max >= 10, "expected a hub, max degree was {max}");
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_parameters() {
+        let mut r = rng(8);
+        assert!(barabasi_albert(5, 0, &mut r).is_err());
+        assert!(barabasi_albert(5, 5, &mut r).is_err());
+    }
+
+    #[test]
+    fn enum_generate_dispatches_each_family() {
+        let mut r = rng(9);
+        let families = [
+            Topology::RandomRegular { degree: 4 },
+            Topology::ErdosRenyi { edge_probability: 0.15 },
+            Topology::WattsStrogatz { k: 4, rewire_probability: 0.2 },
+            Topology::BarabasiAlbert { attachment: 2 },
+            Topology::Ring,
+            Topology::Line,
+            Topology::Complete,
+            Topology::Star,
+            Topology::Tree { arity: 3 },
+        ];
+        for family in families {
+            let g = family.generate(40, &mut r).unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert_eq!(g.node_count(), 40);
+            assert!(g.is_connected(), "{family} must be connected");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_a_fixed_seed() {
+        let g1 = Topology::RandomRegular { degree: 6 }.generate(60, &mut rng(42)).unwrap();
+        let g2 = Topology::RandomRegular { degree: 6 }.generate(60, &mut rng(42)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Topology::Ring.to_string(), "ring");
+        assert_eq!(
+            Topology::RandomRegular { degree: 8 }.to_string(),
+            "random-regular(d=8)"
+        );
+        assert!(Topology::WattsStrogatz { k: 4, rewire_probability: 0.1 }
+            .to_string()
+            .contains("watts-strogatz"));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = GenerateTopologyError::InvalidParameters { reason: "x".into() };
+        assert!(err.to_string().contains("invalid"));
+        let err = GenerateTopologyError::GenerationFailed { attempts: 3 };
+        assert!(err.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,332 @@
+//! Layered ("onion") hybrid encryption for the Dissent-style shuffle.
+//!
+//! Every shuffle member publishes an ephemeral *layer key* for the round.
+//! A submitter wraps its fixed-size plaintext in one encryption layer per
+//! member, outermost layer first removable: member 0 strips the outer layer,
+//! member 1 the next, and so on, until the innermost plaintext is exposed by
+//! the final member.
+//!
+//! A single layer is a small hybrid-encryption construction over the
+//! `fnp-crypto` primitives:
+//!
+//! 1. the submitter generates a fresh ephemeral Diffie–Hellman key pair,
+//! 2. derives a 256-bit key from the DH shared secret with the layer owner's
+//!    public key via HKDF,
+//! 3. encrypts the inner item with ChaCha20 under that key, and
+//! 4. appends a truncated HMAC-SHA256 tag so the layer owner can verify the
+//!    layer before stripping it (Dissent's go/no-go accountability needs
+//!    every member to detect tampering).
+//!
+//! The wire format of one layer is
+//! `ephemeral-public-key (8 bytes) ‖ ciphertext ‖ tag (16 bytes)`, so each
+//! layer adds [`LAYER_OVERHEAD`] bytes. All submissions are padded to the
+//! same slot size *before* layering, which keeps every onion in a batch the
+//! same length and prevents linking by size.
+
+use fnp_crypto::dh::{KeyPair, PublicKey};
+use fnp_crypto::hkdf::Hkdf;
+use fnp_crypto::hmac::{constant_time_eq, hmac_sha256};
+use fnp_crypto::ChaCha20;
+use rand::Rng;
+
+/// Bytes added by a single encryption layer: 8-byte ephemeral public key plus
+/// a 16-byte truncated HMAC tag.
+pub const LAYER_OVERHEAD: usize = 8 + TAG_LEN;
+
+/// Length of the truncated HMAC-SHA256 tag carried by each layer.
+pub const TAG_LEN: usize = 16;
+
+/// Domain-separation label for the layer key derivation.
+const LAYER_KEY_INFO: &[u8] = b"fnp-shuffle layer key v1";
+/// Domain-separation label for the layer tag key derivation.
+const LAYER_TAG_INFO: &[u8] = b"fnp-shuffle layer tag v1";
+
+/// A member's ephemeral key pair for one shuffle round.
+///
+/// Thin wrapper around [`fnp_crypto::dh::KeyPair`] so the shuffle API cannot
+/// accidentally mix long-term identity keys with per-round layer keys.
+#[derive(Clone, Debug)]
+pub struct LayerKeyPair {
+    keys: KeyPair,
+}
+
+impl LayerKeyPair {
+    /// Generates a fresh ephemeral layer key pair.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self {
+            keys: KeyPair::generate(rng),
+        }
+    }
+
+    /// Deterministic constructor used by tests.
+    pub fn from_secret(secret: u64) -> Self {
+        Self {
+            keys: KeyPair::from_secret(secret),
+        }
+    }
+
+    /// The public half, published to all submitters at round start.
+    pub fn public_key(&self) -> PublicKey {
+        self.keys.public_key()
+    }
+
+    /// Strips one layer addressed to this key pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerError`] if the item is too short to contain a layer or
+    /// the authentication tag does not verify.
+    pub fn strip_layer(&self, item: &OnionItem) -> Result<OnionItem, LayerError> {
+        let bytes = &item.0;
+        if bytes.len() < LAYER_OVERHEAD {
+            return Err(LayerError::Truncated { len: bytes.len() });
+        }
+        let (header, rest) = bytes.split_at(8);
+        let (ciphertext, tag) = rest.split_at(rest.len() - TAG_LEN);
+        let ephemeral = PublicKey(u64::from_le_bytes(header.try_into().expect("8-byte header")));
+        let (enc_key, tag_key) = derive_layer_keys(&self.keys, &ephemeral);
+        let expected = truncated_tag(&tag_key, header, ciphertext);
+        if !constant_time_eq(&expected, tag) {
+            return Err(LayerError::BadTag);
+        }
+        let mut plaintext = ciphertext.to_vec();
+        ChaCha20::for_round(&enc_key, 0).apply_keystream(&mut plaintext);
+        Ok(OnionItem(plaintext))
+    }
+}
+
+/// One item travelling through the shuffle: either a fully or partially
+/// layered ciphertext, or (after the last layer is stripped) the padded
+/// plaintext.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OnionItem(pub Vec<u8>);
+
+impl OnionItem {
+    /// Wraps a padded plaintext in one encryption layer per entry of
+    /// `layer_owners`, **innermost last**: the first element of
+    /// `layer_owners` owns the outermost layer and therefore strips first.
+    pub fn seal<R: Rng + ?Sized>(
+        plaintext: Vec<u8>,
+        layer_owners: &[PublicKey],
+        rng: &mut R,
+    ) -> Self {
+        let mut item = OnionItem(plaintext);
+        for owner in layer_owners.iter().rev() {
+            item = item.add_layer(owner, rng);
+        }
+        item
+    }
+
+    /// Adds a single layer addressed to `owner`.
+    pub fn add_layer<R: Rng + ?Sized>(&self, owner: &PublicKey, rng: &mut R) -> Self {
+        let ephemeral = KeyPair::generate(rng);
+        let (enc_key, tag_key) = derive_layer_keys(&ephemeral, owner);
+        let header = ephemeral.public_key().0.to_le_bytes();
+        let mut ciphertext = self.0.clone();
+        ChaCha20::for_round(&enc_key, 0).apply_keystream(&mut ciphertext);
+        let tag = truncated_tag(&tag_key, &header, &ciphertext);
+        let mut bytes = Vec::with_capacity(self.0.len() + LAYER_OVERHEAD);
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(&ciphertext);
+        bytes.extend_from_slice(&tag);
+        OnionItem(bytes)
+    }
+
+    /// Length in bytes of the (possibly layered) item.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the item carries no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw bytes of the item.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the item and returns its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+/// Errors surfaced while stripping an onion layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerError {
+    /// The item is shorter than one layer's framing.
+    Truncated {
+        /// Observed item length in bytes.
+        len: usize,
+    },
+    /// The layer's authentication tag did not verify.
+    BadTag,
+}
+
+impl std::fmt::Display for LayerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayerError::Truncated { len } => {
+                write!(f, "onion item of {len} bytes is too short to contain a layer")
+            }
+            LayerError::BadTag => write!(f, "onion layer authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LayerError {}
+
+/// Derives the encryption and tag keys shared between the ephemeral key pair
+/// and the layer owner's public key.
+///
+/// Both the submitter (who knows the ephemeral secret) and the layer owner
+/// (who knows its own secret and reads the ephemeral public key from the
+/// header) arrive at the same pair of keys because the DH shared secret is
+/// symmetric.
+fn derive_layer_keys(own: &KeyPair, peer: &PublicKey) -> ([u8; 32], [u8; 32]) {
+    let shared = own.shared_secret(peer);
+    let hkdf = Hkdf::extract(Some(b"fnp-shuffle"), &shared);
+    let enc_key: [u8; 32] = hkdf.derive_key(LAYER_KEY_INFO).expect("32-byte output");
+    let tag_key: [u8; 32] = hkdf.derive_key(LAYER_TAG_INFO).expect("32-byte output");
+    (enc_key, tag_key)
+}
+
+/// Computes the truncated HMAC tag over a layer's header and ciphertext.
+fn truncated_tag(tag_key: &[u8; 32], header: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut data = Vec::with_capacity(header.len() + ciphertext.len());
+    data.extend_from_slice(header);
+    data.extend_from_slice(ciphertext);
+    let full = hmac_sha256(tag_key, &data);
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(&full[..TAG_LEN]);
+    tag
+}
+
+/// Pads `payload` to exactly `slot_len` bytes with a 2-byte length prefix so
+/// [`unpad`] can recover the original message.
+///
+/// Returns `None` if the payload (plus prefix) does not fit.
+pub fn pad(payload: &[u8], slot_len: usize) -> Option<Vec<u8>> {
+    if payload.len() + 2 > slot_len || payload.len() > u16::MAX as usize {
+        return None;
+    }
+    let mut padded = Vec::with_capacity(slot_len);
+    padded.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    padded.extend_from_slice(payload);
+    padded.resize(slot_len, 0);
+    Some(padded)
+}
+
+/// Inverse of [`pad`]. Returns `None` if the framing is inconsistent.
+pub fn unpad(padded: &[u8]) -> Option<Vec<u8>> {
+    if padded.len() < 2 {
+        return None;
+    }
+    let len = u16::from_le_bytes([padded[0], padded[1]]) as usize;
+    if padded.len() < 2 + len {
+        return None;
+    }
+    Some(padded[2..2 + len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_layer_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let owner = LayerKeyPair::generate(&mut rng);
+        let plaintext = pad(b"hello", 32).unwrap();
+        let sealed = OnionItem(plaintext.clone()).add_layer(&owner.public_key(), &mut rng);
+        assert_eq!(sealed.len(), plaintext.len() + LAYER_OVERHEAD);
+        let stripped = owner.strip_layer(&sealed).unwrap();
+        assert_eq!(stripped.into_bytes(), plaintext);
+    }
+
+    #[test]
+    fn layers_strip_in_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let owners: Vec<LayerKeyPair> = (0..5).map(|_| LayerKeyPair::generate(&mut rng)).collect();
+        let publics: Vec<PublicKey> = owners.iter().map(LayerKeyPair::public_key).collect();
+        let plaintext = pad(b"a transaction", 64).unwrap();
+        let mut item = OnionItem::seal(plaintext.clone(), &publics, &mut rng);
+        for owner in &owners {
+            item = owner.strip_layer(&item).unwrap();
+        }
+        assert_eq!(item.into_bytes(), plaintext);
+    }
+
+    #[test]
+    fn stripping_out_of_order_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let owners: Vec<LayerKeyPair> = (0..3).map(|_| LayerKeyPair::generate(&mut rng)).collect();
+        let publics: Vec<PublicKey> = owners.iter().map(LayerKeyPair::public_key).collect();
+        let item = OnionItem::seal(pad(b"x", 16).unwrap(), &publics, &mut rng);
+        // Member 1 owns the *second* layer; trying to strip the outermost
+        // layer with its key must fail the tag check.
+        assert_eq!(owners[1].strip_layer(&item), Err(LayerError::BadTag));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let owner = LayerKeyPair::generate(&mut rng);
+        let mut sealed =
+            OnionItem(pad(b"payload", 32).unwrap()).add_layer(&owner.public_key(), &mut rng);
+        let mid = sealed.0.len() / 2;
+        sealed.0[mid] ^= 0xff;
+        assert_eq!(owner.strip_layer(&sealed), Err(LayerError::BadTag));
+    }
+
+    #[test]
+    fn truncated_items_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let owner = LayerKeyPair::generate(&mut rng);
+        let short = OnionItem(vec![0u8; LAYER_OVERHEAD - 1]);
+        assert!(matches!(
+            owner.strip_layer(&short),
+            Err(LayerError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn pad_rejects_oversized_payloads() {
+        assert!(pad(&[0u8; 31], 32).is_none());
+        assert!(pad(&[0u8; 30], 32).is_some());
+    }
+
+    proptest! {
+        #[test]
+        fn pad_unpad_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..200), extra in 2usize..64) {
+            let slot_len = payload.len() + extra;
+            let padded = pad(&payload, slot_len).unwrap();
+            prop_assert_eq!(padded.len(), slot_len);
+            prop_assert_eq!(unpad(&padded).unwrap(), payload);
+        }
+
+        #[test]
+        fn onion_roundtrips_for_any_depth(
+            payload in proptest::collection::vec(any::<u8>(), 1..100),
+            depth in 1usize..8,
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let owners: Vec<LayerKeyPair> = (0..depth).map(|_| LayerKeyPair::generate(&mut rng)).collect();
+            let publics: Vec<PublicKey> = owners.iter().map(LayerKeyPair::public_key).collect();
+            let slot_len = payload.len() + 2;
+            let plaintext = pad(&payload, slot_len).unwrap();
+            let mut item = OnionItem::seal(plaintext, &publics, &mut rng);
+            prop_assert_eq!(item.len(), slot_len + depth * LAYER_OVERHEAD);
+            for owner in &owners {
+                item = owner.strip_layer(&item).unwrap();
+            }
+            prop_assert_eq!(unpad(item.as_bytes()).unwrap(), payload);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The sequential verifiable shuffle at the heart of the Dissent baseline.
+//!
+//! All `k` members of a group submit one fixed-size item each. The members
+//! then take turns, in a publicly known order: member 0 receives the batch of
+//! `k` onion-encrypted items, permutes it uniformly at random, strips its own
+//! encryption layer from every item, and forwards the batch to member 1, and
+//! so on. After the last member has shuffled, the batch contains the padded
+//! plaintexts in an order that no single member can link back to the
+//! submitters — **as long as at least one shuffler is honest**, because that
+//! shuffler's secret permutation is unknown to everyone else.
+//!
+//! The paper's honest-but-curious attacker participates in the shuffle and
+//! records everything it sees, but follows the protocol. The
+//! [`ShuffleReport`] therefore also exposes, per member, the mapping that the
+//! member *could* observe (its own input/output permutation), which the
+//! adversary crate uses to confirm that colluding subsets short of the full
+//! group learn nothing about the submitter of a published plaintext.
+//!
+//! Accountability is modelled by the Dissent go/no-go check: after the final
+//! batch is published, every member verifies that its own plaintext survived
+//! the shuffle; [`ShuffleReport::all_present`] reflects that vote.
+
+use crate::onion::{pad, unpad, LayerError, LayerKeyPair, OnionItem, LAYER_OVERHEAD};
+use fnp_crypto::dh::PublicKey;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One member of the shuffle group: the ephemeral layer keys plus the
+/// member's submission for the round.
+#[derive(Clone, Debug)]
+pub struct ShuffleMember {
+    /// Index of the member within the round's fixed shuffle order.
+    index: usize,
+    /// Ephemeral layer key pair for this round.
+    layer_keys: LayerKeyPair,
+    /// The padded plaintext this member submitted (kept to run the go/no-go
+    /// check at the end of the round).
+    submitted: Option<Vec<u8>>,
+}
+
+impl ShuffleMember {
+    /// Creates member `index` with fresh ephemeral keys.
+    pub fn new<R: Rng + ?Sized>(index: usize, rng: &mut R) -> Self {
+        Self {
+            index,
+            layer_keys: LayerKeyPair::generate(rng),
+            submitted: None,
+        }
+    }
+
+    /// The member's position in the shuffle order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The member's round public key, published before submissions.
+    pub fn public_key(&self) -> PublicKey {
+        self.layer_keys.public_key()
+    }
+}
+
+/// Errors surfaced while running a shuffle round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShuffleError {
+    /// The group is too small to provide any anonymity.
+    GroupTooSmall {
+        /// Observed group size.
+        size: usize,
+    },
+    /// The number of submissions does not match the group size.
+    WrongSubmissionCount {
+        /// Submissions received.
+        received: usize,
+        /// Group size expected.
+        expected: usize,
+    },
+    /// A submission exceeds the round's slot size.
+    PayloadTooLarge {
+        /// Index of the offending submitter.
+        member: usize,
+        /// Payload length in bytes.
+        len: usize,
+        /// Maximum payload length for the configured slot.
+        max: usize,
+    },
+    /// A layer failed to strip during the shuffle (tampering or corruption).
+    Layer {
+        /// Member whose layer failed.
+        member: usize,
+        /// Underlying layer error.
+        error: LayerError,
+    },
+}
+
+impl std::fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShuffleError::GroupTooSmall { size } => {
+                write!(f, "shuffle group of size {size} cannot provide anonymity")
+            }
+            ShuffleError::WrongSubmissionCount { received, expected } => write!(
+                f,
+                "received {received} submissions for a group of {expected} members"
+            ),
+            ShuffleError::PayloadTooLarge { member, len, max } => write!(
+                f,
+                "member {member} submitted {len} bytes but the slot only fits {max}"
+            ),
+            ShuffleError::Layer { member, error } => {
+                write!(f, "member {member} failed to strip its layer: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {}
+
+/// Outcome of one shuffle round.
+#[derive(Clone, Debug)]
+pub struct ShuffleReport {
+    /// The published plaintexts, in shuffled (unlinkable) order, with padding
+    /// removed.
+    pub published: Vec<Vec<u8>>,
+    /// Whether every member found its own submission in the published batch
+    /// (the Dissent go/no-go vote).
+    pub all_present: bool,
+    /// Point-to-point messages exchanged: key publication, submissions, the
+    /// serial batch hand-offs and the final broadcast of the result.
+    pub messages_sent: u64,
+    /// Bytes carried by those messages.
+    pub bytes_sent: u64,
+    /// Slot size used for padding (excluding layer overhead).
+    pub slot_len: usize,
+    /// Number of serial hand-off steps (one per member), which dominates the
+    /// round's latency because they cannot be parallelised.
+    pub serial_steps: usize,
+}
+
+impl ShuffleReport {
+    /// Number of published items (equals the group size when the round is
+    /// well formed).
+    pub fn len(&self) -> usize {
+        self.published.len()
+    }
+
+    /// Whether the round produced no output at all.
+    pub fn is_empty(&self) -> bool {
+        self.published.is_empty()
+    }
+
+    /// Whether a particular plaintext appears in the published batch.
+    pub fn contains(&self, payload: &[u8]) -> bool {
+        self.published.iter().any(|p| p == payload)
+    }
+}
+
+/// Runs one complete shuffle round in memory.
+///
+/// `submissions[i]` is member `i`'s payload; `None` submits an empty cover
+/// message so that silent members are indistinguishable from senders. All
+/// payloads are padded to `slot_len` bytes before layering.
+///
+/// # Errors
+///
+/// Returns an error if the group is smaller than two members, the submission
+/// list does not match the group, or a payload does not fit the slot.
+pub fn run_shuffle<R: Rng + ?Sized>(
+    slot_len: usize,
+    submissions: &[Option<Vec<u8>>],
+    rng: &mut R,
+) -> Result<ShuffleReport, ShuffleError> {
+    let k = submissions.len();
+    if k < 2 {
+        return Err(ShuffleError::GroupTooSmall { size: k });
+    }
+
+    // Round setup: every member generates its ephemeral layer keys and
+    // publishes the public half (k broadcast messages of 8 bytes each; we
+    // count them as k·(k−1) point-to-point messages to stay consistent with
+    // the DC-net accounting in `fnp-dcnet`).
+    let mut members: Vec<ShuffleMember> = (0..k).map(|i| ShuffleMember::new(i, rng)).collect();
+    let publics: Vec<PublicKey> = members.iter().map(ShuffleMember::public_key).collect();
+    let mut messages_sent = (k as u64) * (k as u64 - 1);
+    let mut bytes_sent = messages_sent * 8;
+
+    // Submission: every member pads and onion-encrypts its payload and sends
+    // it to the first shuffler.
+    let max_payload = slot_len.saturating_sub(2);
+    let mut batch: Vec<OnionItem> = Vec::with_capacity(k);
+    for (index, submission) in submissions.iter().enumerate() {
+        let payload = submission.clone().unwrap_or_default();
+        if payload.len() > max_payload {
+            return Err(ShuffleError::PayloadTooLarge {
+                member: index,
+                len: payload.len(),
+                max: max_payload,
+            });
+        }
+        let padded = pad(&payload, slot_len).expect("payload fits after the size check");
+        members[index].submitted = Some(padded.clone());
+        batch.push(OnionItem::seal(padded, &publics, rng));
+    }
+    messages_sent += k as u64;
+    bytes_sent += (k as u64) * (slot_len + k * LAYER_OVERHEAD) as u64;
+
+    // The serial shuffle: each member permutes the batch and strips its own
+    // layer, then hands the batch to the next member.
+    for (position, member) in members.iter().enumerate() {
+        batch.shuffle(rng);
+        batch = batch
+            .iter()
+            .map(|item| member.layer_keys.strip_layer(item))
+            .collect::<Result<_, _>>()
+            .map_err(|error| ShuffleError::Layer {
+                member: position,
+                error,
+            })?;
+        // Hand-off to the next member (or final broadcast after the last).
+        let item_len = batch.first().map(OnionItem::len).unwrap_or(0) as u64;
+        if position + 1 < k {
+            messages_sent += 1;
+            bytes_sent += item_len * k as u64;
+        } else {
+            // Final broadcast of the cleartext batch to every member.
+            messages_sent += k as u64 - 1;
+            bytes_sent += (k as u64 - 1) * item_len * k as u64;
+        }
+    }
+
+    // Go/no-go: every member checks that its own padded plaintext survived.
+    let all_present = members.iter().all(|member| {
+        member
+            .submitted
+            .as_ref()
+            .map(|padded| batch.iter().any(|item| item.as_bytes() == padded.as_slice()))
+            .unwrap_or(false)
+    });
+
+    let published = batch
+        .iter()
+        .filter_map(|item| unpad(item.as_bytes()))
+        .collect();
+
+    Ok(ShuffleReport {
+        published,
+        all_present,
+        messages_sent,
+        bytes_sent,
+        slot_len,
+        serial_steps: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn submissions(payloads: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
+        payloads.iter().map(|p| Some(p.to_vec())).collect()
+    }
+
+    #[test]
+    fn shuffle_publishes_every_submission() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let subs = submissions(&[b"alpha", b"beta", b"gamma", b"delta"]);
+        let report = run_shuffle(32, &subs, &mut rng).unwrap();
+        assert_eq!(report.len(), 4);
+        assert!(report.all_present);
+        for sub in &subs {
+            assert!(report.contains(sub.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn silent_members_submit_cover_items() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let subs = vec![Some(b"only sender".to_vec()), None, None, None, None];
+        let report = run_shuffle(32, &subs, &mut rng).unwrap();
+        assert_eq!(report.len(), 5);
+        assert!(report.all_present);
+        assert_eq!(report.published.iter().filter(|p| p.is_empty()).count(), 4);
+        assert!(report.contains(b"only sender"));
+    }
+
+    #[test]
+    fn groups_of_one_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let err = run_shuffle(32, &[Some(b"x".to_vec())], &mut rng).unwrap_err();
+        assert_eq!(err, ShuffleError::GroupTooSmall { size: 1 });
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let subs = vec![Some(vec![0u8; 31]), None];
+        let err = run_shuffle(32, &subs, &mut rng).unwrap_err();
+        assert!(matches!(err, ShuffleError::PayloadTooLarge { member: 0, .. }));
+    }
+
+    #[test]
+    fn message_count_grows_quadratically_with_group_size() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let small = run_shuffle(32, &vec![None; 4], &mut rng).unwrap();
+        let large = run_shuffle(32, &vec![None; 8], &mut rng).unwrap();
+        // Key publication dominates: k(k-1) grows ~4x when k doubles.
+        assert!(large.messages_sent > 2 * small.messages_sent);
+        assert_eq!(small.serial_steps, 4);
+        assert_eq!(large.serial_steps, 8);
+    }
+
+    #[test]
+    fn published_order_varies_with_the_shuffler_randomness() {
+        // With all shufflers honest the output order depends on every
+        // member's secret permutation; different RNG seeds must therefore
+        // produce different orders for the same submissions (this is the
+        // unlinkability smoke test — a fixed order would trivially link
+        // positions to submitters).
+        let subs = submissions(&[b"a", b"b", b"c", b"d", b"e", b"f"]);
+        let mut orders = BTreeMap::new();
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = run_shuffle(16, &subs, &mut rng).unwrap();
+            *orders.entry(report.published.clone()).or_insert(0u32) += 1;
+        }
+        assert!(orders.len() > 1, "all 20 seeds produced the same output order");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn shuffle_preserves_the_multiset_of_payloads(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 2..8),
+            seed in any::<u64>()
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let subs: Vec<Option<Vec<u8>>> = payloads.iter().cloned().map(Some).collect();
+            let report = run_shuffle(24, &subs, &mut rng).unwrap();
+            prop_assert!(report.all_present);
+            let mut expected = payloads.clone();
+            expected.sort();
+            let mut got = report.published.clone();
+            got.sort();
+            prop_assert_eq!(expected, got);
+        }
+    }
+}

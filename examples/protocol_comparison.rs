@@ -1,0 +1,85 @@
+//! Side-by-side comparison of the four dissemination strategies: message
+//! overhead, byte overhead and latency to coverage — the efficiency half of
+//! the paper's privacy–performance landscape (Fig. 1) and the §V-A message
+//! count comparison.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison
+//! ```
+
+use fnp_core::{run_protocol, FlexConfig, ProtocolKind};
+use fnp_diffusion::AdParams;
+use fnp_gossip::DandelionParams;
+use fnp_netsim::{as_millis, summarize, topology, NodeId, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NETWORK_SIZE: usize = 1_000;
+const RUNS: usize = 5;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let protocols: Vec<(&str, ProtocolKind)> = vec![
+        ("flood-and-prune", ProtocolKind::Flood),
+        ("dandelion", ProtocolKind::Dandelion(DandelionParams::default())),
+        (
+            "adaptive-diffusion",
+            ProtocolKind::AdaptiveDiffusion(AdParams {
+                max_rounds: 96,
+                ..AdParams::default()
+            }),
+        ),
+        ("flexible(k=5,d=4)", ProtocolKind::Flexible(FlexConfig::default())),
+    ];
+
+    println!("{NETWORK_SIZE}-node 8-regular overlay, {RUNS} broadcasts per protocol\n");
+    println!(
+        "{:<20} {:>12} {:>14} {:>14} {:>14} {:>10}",
+        "protocol", "messages", "kilobytes", "t50% (ms)", "t100% (ms)", "coverage"
+    );
+
+    for (label, kind) in protocols {
+        let mut messages = Vec::new();
+        let mut kilobytes = Vec::new();
+        let mut t50 = Vec::new();
+        let mut t100 = Vec::new();
+        let mut coverage = Vec::new();
+
+        for run in 0..RUNS {
+            let seed = run as u64 + 10;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = topology::random_regular(NETWORK_SIZE, 8, &mut rng)?;
+            let origin = NodeId::new(rng.gen_range(0..NETWORK_SIZE));
+            let metrics = run_protocol(kind, graph, origin, SimConfig { seed, ..SimConfig::default() })?;
+
+            messages.push(metrics.messages_sent as f64);
+            kilobytes.push(metrics.bytes_sent as f64 / 1024.0);
+            coverage.push(metrics.coverage());
+            if let Some(at) = metrics.time_to_coverage(0.5) {
+                t50.push(as_millis(at));
+            }
+            if let Some(at) = metrics.time_to_coverage(1.0) {
+                t100.push(as_millis(at));
+            }
+        }
+
+        println!(
+            "{:<20} {:>12.0} {:>14.0} {:>14.0} {:>14.0} {:>9.1}%",
+            label,
+            summarize(&messages).mean,
+            summarize(&kilobytes).mean,
+            summarize(&t50).mean,
+            summarize(&t100).mean,
+            summarize(&coverage).mean * 100.0
+        );
+    }
+
+    println!(
+        "\nThe shape to look for (paper §V-A): flooding needs ≈7 000 messages\n\
+         on 1 000 peers, full adaptive diffusion ≈1.5–2× that, Dandelion is\n\
+         close to flooding plus its stem, and the flexible protocol pays the\n\
+         DC-net and diffusion overhead on top of a (slightly smaller) flood."
+    );
+    Ok(())
+}
