@@ -109,7 +109,10 @@ impl LinkObserver {
 
     /// Filters a simulation trace down to the messages crossing tapped links,
     /// in trace order.
-    pub fn visible_traffic<'a>(&'a self, metrics: &'a Metrics) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+    pub fn visible_traffic<'a>(
+        &'a self,
+        metrics: &'a Metrics,
+    ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
         metrics
             .trace
             .iter()
@@ -131,11 +134,7 @@ impl LinkObserver {
 /// an honest evaluation must not let the estimator "win" simply by pointing
 /// at the first DC-net share it happens to see. (Every member of the group
 /// transmits in every DC round whether or not it has a payload.)
-pub fn first_sender(
-    observer: &LinkObserver,
-    metrics: &Metrics,
-    exempt_kinds: &[&str],
-) -> Estimate {
+pub fn first_sender(observer: &LinkObserver, metrics: &Metrics, exempt_kinds: &[&str]) -> Estimate {
     let mut scores: BTreeMap<NodeId, f64> = BTreeMap::new();
     let first = observer
         .visible_traffic(metrics)

@@ -49,7 +49,11 @@ impl Estimate {
             .collect();
         let best_guess = posterior
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite").then(b.0.cmp(a.0)))
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .expect("scores are finite")
+                    .then(b.0.cmp(a.0))
+            })
             .map(|(node, _)| *node);
         Self {
             posterior,
@@ -70,11 +74,7 @@ impl Estimate {
     /// The effective anonymity-set size: the number of candidates carrying
     /// non-negligible probability mass (≥ 1 % of the maximum score).
     pub fn anonymity_set_size(&self) -> usize {
-        let max = self
-            .posterior
-            .values()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let max = self.posterior.values().copied().fold(0.0f64, f64::max);
         if max <= 0.0 {
             return 0;
         }
@@ -224,11 +224,8 @@ mod tests {
 
     #[test]
     fn weighted_first_relayers_spreads_mass() {
-        let estimate = weighted_first_relayers(&view(vec![
-            obs(5, 1, 100),
-            obs(6, 2, 100),
-            obs(7, 1, 200),
-        ]));
+        let estimate =
+            weighted_first_relayers(&view(vec![obs(5, 1, 100), obs(6, 2, 100), obs(7, 1, 200)]));
         // Nodes 1 and 2 both relayed early; node 1 also relayed late.
         assert!(estimate.probability_of(NodeId::new(1)) > estimate.probability_of(NodeId::new(2)));
         assert!(estimate.anonymity_set_size() >= 2);
@@ -270,7 +267,7 @@ mod tests {
     fn unreachable_candidates_are_excluded() {
         // Disconnected graph: candidate 3 cannot be the source of anything
         // the observer at node 0 saw.
-        let mut graph = fnp_netsim::Graph::new(4);
+        let mut graph = Graph::new(4);
         graph.add_edge(NodeId::new(0), NodeId::new(1));
         graph.add_edge(NodeId::new(2), NodeId::new(3));
         let candidates: Vec<NodeId> = (0..4).map(NodeId::new).collect();

@@ -153,7 +153,7 @@ mod tests {
                 let estimate = insider_posterior(&members, &colluders);
                 prop_assert_eq!(estimate.anonymity_set_size(), honest);
                 // The posterior never singles anyone out more than the bound.
-                for (_, probability) in &estimate.posterior {
+                for probability in estimate.posterior.values() {
                     prop_assert!(*probability <= p + 1e-12);
                 }
             }

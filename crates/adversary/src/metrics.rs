@@ -157,8 +157,7 @@ mod tests {
 
     fn uniform_estimate(nodes: &[usize]) -> Estimate {
         let p = 1.0 / nodes.len() as f64;
-        let posterior: BTreeMap<NodeId, f64> =
-            nodes.iter().map(|&n| (NodeId::new(n), p)).collect();
+        let posterior: BTreeMap<NodeId, f64> = nodes.iter().map(|&n| (NodeId::new(n), p)).collect();
         Estimate {
             best_guess: posterior.keys().next().copied(),
             posterior,

@@ -144,7 +144,9 @@ impl AdversaryView {
     /// The earliest observation (the "first spy"), if any adversarial node
     /// was reached at all.
     pub fn first_observation(&self) -> Option<&Observation> {
-        self.observations.iter().min_by_key(|obs| (obs.at, obs.observer))
+        self.observations
+            .iter()
+            .min_by_key(|obs| (obs.at, obs.observer))
     }
 
     /// Number of adversarial nodes that observed the broadcast.
@@ -212,10 +214,34 @@ mod tests {
     fn view_keeps_only_first_receipt_per_observer() {
         let mut metrics = Metrics::new(4);
         metrics.trace = vec![
-            TraceEntry { at: 10, from: NodeId::new(0), to: NodeId::new(2), kind: "flood", bytes: 1 },
-            TraceEntry { at: 15, from: NodeId::new(1), to: NodeId::new(2), kind: "flood", bytes: 1 },
-            TraceEntry { at: 12, from: NodeId::new(0), to: NodeId::new(3), kind: "flood", bytes: 1 },
-            TraceEntry { at: 9, from: NodeId::new(0), to: NodeId::new(1), kind: "flood", bytes: 1 },
+            TraceEntry {
+                at: 10,
+                from: NodeId::new(0),
+                to: NodeId::new(2),
+                kind: "flood",
+                bytes: 1,
+            },
+            TraceEntry {
+                at: 15,
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                kind: "flood",
+                bytes: 1,
+            },
+            TraceEntry {
+                at: 12,
+                from: NodeId::new(0),
+                to: NodeId::new(3),
+                kind: "flood",
+                bytes: 1,
+            },
+            TraceEntry {
+                at: 9,
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                kind: "flood",
+                bytes: 1,
+            },
         ];
         let adversaries = AdversarySet::from_nodes(4, [NodeId::new(2), NodeId::new(3)]);
         let view = AdversaryView::from_metrics(&metrics, &adversaries);

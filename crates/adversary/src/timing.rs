@@ -139,12 +139,7 @@ mod tests {
         // Observers at 1, 3, 5, 8 with arrival times proportional to distance
         // from node 4.
         let view = AdversaryView {
-            observations: vec![
-                obs(1, 2, 30),
-                obs(3, 4, 10),
-                obs(5, 4, 10),
-                obs(8, 7, 40),
-            ],
+            observations: vec![obs(1, 2, 30), obs(3, 4, 10), obs(5, 4, 10), obs(8, 7, 40)],
         };
         (graph, view)
     }
@@ -163,12 +158,11 @@ mod tests {
         let candidates: Vec<NodeId> = graph.nodes().collect();
         let estimate = timing_ml(&graph, &view, &candidates, 7.0);
         let origin_probability = estimate.probability_of(NodeId::new(4));
-        let max = estimate
-            .posterior
-            .values()
-            .copied()
-            .fold(0.0f64, f64::max);
-        assert!(origin_probability >= max * 0.5, "origin fell far behind: {estimate:?}");
+        let max = estimate.posterior.values().copied().fold(0.0f64, f64::max);
+        assert!(
+            origin_probability >= max * 0.5,
+            "origin fell far behind: {estimate:?}"
+        );
     }
 
     #[test]
@@ -176,7 +170,10 @@ mod tests {
         let graph = topology::line(5).unwrap();
         let empty_view = AdversaryView::default();
         let candidates: Vec<NodeId> = graph.nodes().collect();
-        assert_eq!(timing_ml(&graph, &empty_view, &candidates, 10.0).best_guess, None);
+        assert_eq!(
+            timing_ml(&graph, &empty_view, &candidates, 10.0).best_guess,
+            None
+        );
         let (_, view) = line_view_from_center();
         assert_eq!(timing_ml(&graph, &view, &[], 10.0).best_guess, None);
         assert_eq!(timing_ml(&graph, &view, &candidates, 0.0).best_guess, None);

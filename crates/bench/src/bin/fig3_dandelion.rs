@@ -11,10 +11,14 @@ fn main() {
         "{:<12} {:>8} {:>12} {:>16}",
         "stem prob", "phi", "P[detect]", "mean stem len"
     );
-    for row in fnp_bench::dandelion_privacy(n, &[0.05, 0.15, 0.25, 0.35, 0.5], &[0.5, 0.9], runs, 3) {
+    for row in fnp_bench::dandelion_privacy(n, &[0.05, 0.15, 0.25, 0.35, 0.5], &[0.5, 0.9], runs, 3)
+    {
         println!(
             "{:<12.2} {:>8.2} {:>12.3} {:>16.1}",
-            row.stem_probability, row.adversary_fraction, row.detection_probability, row.mean_stem_length
+            row.stem_probability,
+            row.adversary_fraction,
+            row.detection_probability,
+            row.mean_stem_length
         );
     }
 }

@@ -8,7 +8,12 @@ fn main() {
     println!("E4+E9 / Fig. 4 — DC-net round cost (slot = {slot} bytes)\n");
     println!(
         "{:<4} {:>18} {:>14} {:>14} {:>22} {:>24}",
-        "k", "explicit msgs/rnd", "keyed msgs/rnd", "keyed bytes", "idle bytes (reserved)", "idle bytes (full slot)"
+        "k",
+        "explicit msgs/rnd",
+        "keyed msgs/rnd",
+        "keyed bytes",
+        "idle bytes (reserved)",
+        "idle bytes (full slot)"
     );
     for row in fnp_bench::dcnet_cost(&ks, slot, 4) {
         println!(

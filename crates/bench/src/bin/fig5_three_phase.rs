@@ -13,7 +13,13 @@ fn main() {
     for row in fnp_bench::three_phase_breakdown(n, &[3, 5, 10], &[2, 4, 8], runs, 5) {
         println!(
             "{:<4} {:<4} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>9.1}%",
-            row.k, row.d, row.phase1, row.phase2, row.phase3, row.total, row.coverage * 100.0
+            row.k,
+            row.d,
+            row.phase1,
+            row.phase2,
+            row.phase3,
+            row.total,
+            row.coverage * 100.0
         );
     }
 }

@@ -8,9 +8,21 @@ fn main() {
     let runs = 10;
     println!("E6 / §V-A — message overhead on {n} peers ({runs} runs)\n");
     let result = fnp_bench::message_overhead(n, runs, 6);
-    println!("flood-and-prune (all peers)     : {:>10.0} messages", result.flood_messages);
-    println!("adaptive diffusion (all peers)  : {:>10.0} messages", result.adaptive_diffusion_messages);
-    println!("flexible protocol (k=5, d=4)    : {:>10.0} messages", result.flexible_messages);
-    println!("adaptive-diffusion / flood ratio: {:>10.2}", result.overhead_ratio);
+    println!(
+        "flood-and-prune (all peers)     : {:>10.0} messages",
+        result.flood_messages
+    );
+    println!(
+        "adaptive diffusion (all peers)  : {:>10.0} messages",
+        result.adaptive_diffusion_messages
+    );
+    println!(
+        "flexible protocol (k=5, d=4)    : {:>10.0} messages",
+        result.flexible_messages
+    );
+    println!(
+        "adaptive-diffusion / flood ratio: {:>10.2}",
+        result.overhead_ratio
+    );
     println!("\npaper reference: ~12,500 vs ~7,000 messages (ratio ~1.8).");
 }

@@ -5,7 +5,9 @@
 fn main() {
     let n = 500;
     let runs = 10;
-    println!("E7 / §V-B — privacy bounds of the flexible protocol ({n} nodes, {runs} runs per cell)\n");
+    println!(
+        "E7 / §V-B — privacy bounds of the flexible protocol ({n} nodes, {runs} runs per cell)\n"
+    );
     println!(
         "{:<4} {:<4} {:>8} {:>12} {:>14} {:>10} {:>10}",
         "k", "d", "phi", "P[detect]", "anonymity set", "1/k bound", "1/n ideal"

@@ -11,7 +11,11 @@ fn main() {
     for row in fnp_bench::group_overlap(&[3, 5, 8, 10], &[1, 2, 3, 4]) {
         println!(
             "{:<12} {:<10} {:>14.3} {:>16.3} {:>10.3}",
-            row.group_size, row.overlap_degree, row.naive_worst_case, row.smoothed_worst_case, row.ideal
+            row.group_size,
+            row.overlap_degree,
+            row.naive_worst_case,
+            row.smoothed_worst_case,
+            row.ideal
         );
     }
     println!("\nThe paper's example is the first row: worst-case 1/2 instead of 1/3.");

@@ -100,7 +100,7 @@ impl Block {
         hasher.update(&header.height.to_le_bytes());
         hasher.update(header.parent.as_bytes());
         hasher.update(&(header.miner.index() as u64).to_le_bytes());
-        hasher.update(&(header.found_at as u64).to_le_bytes());
+        hasher.update(&header.found_at.to_le_bytes());
         for tx in transactions {
             hasher.update(tx.id().as_bytes());
         }
@@ -201,7 +201,13 @@ mod tests {
         };
         let a = Block::new(header.clone(), vec![tx(1, 250, 100)]);
         let b = Block::new(header.clone(), vec![tx(2, 250, 100)]);
-        let c = Block::new(BlockHeader { height: 2, ..header }, vec![tx(1, 250, 100)]);
+        let c = Block::new(
+            BlockHeader {
+                height: 2,
+                ..header
+            },
+            vec![tx(1, 250, 100)],
+        );
         assert_ne!(a.hash(), b.hash());
         assert_ne!(a.hash(), c.hash());
     }

@@ -43,13 +43,22 @@ impl std::fmt::Display for ChainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ChainError::WrongHeight { got, expected } => {
-                write!(f, "block height {got} does not extend the tip (expected {expected})")
+                write!(
+                    f,
+                    "block height {got} does not extend the tip (expected {expected})"
+                )
             }
             ChainError::WrongParent { got, expected } => {
-                write!(f, "block parent {got:?} does not match the tip {expected:?}")
+                write!(
+                    f,
+                    "block parent {got:?} does not match the tip {expected:?}"
+                )
             }
             ChainError::DuplicateTransaction { id, included_at } => {
-                write!(f, "transaction {id} was already included at height {included_at}")
+                write!(
+                    f,
+                    "transaction {id} was already included at height {included_at}"
+                )
             }
         }
     }
@@ -85,7 +94,9 @@ impl Blockchain {
 
     /// The current tip.
     pub fn tip(&self) -> &Block {
-        self.blocks.last().expect("chain always has a genesis block")
+        self.blocks
+            .last()
+            .expect("chain always has a genesis block")
     }
 
     /// Height of the current tip.
@@ -222,7 +233,10 @@ mod tests {
         );
         assert_eq!(
             chain.append(bad),
-            Err(ChainError::WrongHeight { got: 5, expected: 1 })
+            Err(ChainError::WrongHeight {
+                got: 5,
+                expected: 1
+            })
         );
     }
 
@@ -239,18 +253,26 @@ mod tests {
             vec![],
         );
         // Genesis hash is not ZERO, so this parent reference is invalid.
-        assert!(matches!(chain.append(bad), Err(ChainError::WrongParent { .. })));
+        assert!(matches!(
+            chain.append(bad),
+            Err(ChainError::WrongParent { .. })
+        ));
     }
 
     #[test]
     fn duplicate_transactions_are_rejected() {
         let mut chain = Blockchain::new(NodeId::new(0));
         let tx = Transaction::new(NodeId::new(9), 250, 10, 0);
-        chain.append(extend(&chain, 1, vec![tx.clone()], 100)).unwrap();
+        chain
+            .append(extend(&chain, 1, vec![tx.clone()], 100))
+            .unwrap();
         let duplicate = extend(&chain, 2, vec![tx.clone()], 200);
         assert_eq!(
             chain.append(duplicate),
-            Err(ChainError::DuplicateTransaction { id: tx.id(), included_at: 1 })
+            Err(ChainError::DuplicateTransaction {
+                id: tx.id(),
+                included_at: 1
+            })
         );
     }
 
@@ -259,7 +281,9 @@ mod tests {
         let mut chain = Blockchain::new(NodeId::new(0));
         let tx = Transaction::new(NodeId::new(9), 250, 10, 0);
         assert_eq!(chain.inclusion_height(&tx.id()), None);
-        chain.append(extend(&chain, 1, vec![tx.clone()], 750)).unwrap();
+        chain
+            .append(extend(&chain, 1, vec![tx.clone()], 750))
+            .unwrap();
         assert_eq!(chain.inclusion_height(&tx.id()), Some(1));
         assert_eq!(chain.inclusion_time(&tx.id()), Some(750));
     }
@@ -276,7 +300,10 @@ mod tests {
         assert_eq!(fees[&NodeId::new(1)], 100);
         assert_eq!(fees[&NodeId::new(2)], 40);
         let rewards = chain.rewards_by_miner();
-        assert_eq!(rewards[&NodeId::new(1)], 100 + 2 * crate::block::BLOCK_SUBSIDY);
+        assert_eq!(
+            rewards[&NodeId::new(1)],
+            100 + 2 * crate::block::BLOCK_SUBSIDY
+        );
         assert_eq!(rewards[&NodeId::new(2)], 40 + crate::block::BLOCK_SUBSIDY);
     }
 }

@@ -32,7 +32,10 @@ impl std::fmt::Display for MempoolError {
         match self {
             MempoolError::Duplicate { id } => write!(f, "transaction {id} is already pooled"),
             MempoolError::TooLarge { size, capacity } => {
-                write!(f, "transaction of {size} bytes exceeds pool capacity {capacity}")
+                write!(
+                    f,
+                    "transaction of {size} bytes exceeds pool capacity {capacity}"
+                )
             }
         }
     }
@@ -200,7 +203,10 @@ mod tests {
         let mut pool = Mempool::new(10_000);
         let t = tx(1, 250, 100);
         pool.insert(t.clone()).unwrap();
-        assert_eq!(pool.insert(t.clone()), Err(MempoolError::Duplicate { id: t.id() }));
+        assert_eq!(
+            pool.insert(t.clone()),
+            Err(MempoolError::Duplicate { id: t.id() })
+        );
     }
 
     #[test]
@@ -209,7 +215,10 @@ mod tests {
         let t = tx(1, 101, 100);
         assert_eq!(
             pool.insert(t),
-            Err(MempoolError::TooLarge { size: 101, capacity: 100 })
+            Err(MempoolError::TooLarge {
+                size: 101,
+                capacity: 100
+            })
         );
     }
 

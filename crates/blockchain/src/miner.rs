@@ -181,11 +181,18 @@ mod tests {
     fn empty_and_invalid_sets_are_rejected() {
         assert_eq!(MinerSet::new(vec![]).unwrap_err(), MinerSetError::Empty);
         assert!(matches!(
-            MinerSet::new(vec![Miner { node: NodeId::new(0), hashrate: -1.0 }]),
+            MinerSet::new(vec![Miner {
+                node: NodeId::new(0),
+                hashrate: -1.0
+            }]),
             Err(MinerSetError::InvalidHashrate { .. })
         ));
         assert_eq!(
-            MinerSet::new(vec![Miner { node: NodeId::new(0), hashrate: 0.0 }]).unwrap_err(),
+            MinerSet::new(vec![Miner {
+                node: NodeId::new(0),
+                hashrate: 0.0
+            }])
+            .unwrap_err(),
             MinerSetError::ZeroTotalHashrate
         );
     }
@@ -193,8 +200,14 @@ mod tests {
     #[test]
     fn winner_sampling_tracks_hashrate_shares() {
         let set = MinerSet::new(vec![
-            Miner { node: NodeId::new(0), hashrate: 3.0 },
-            Miner { node: NodeId::new(1), hashrate: 1.0 },
+            Miner {
+                node: NodeId::new(0),
+                hashrate: 3.0,
+            },
+            Miner {
+                node: NodeId::new(1),
+                hashrate: 1.0,
+            },
         ])
         .unwrap();
         let mut rng = StdRng::seed_from_u64(42);
@@ -209,8 +222,14 @@ mod tests {
     #[test]
     fn zero_hashrate_miners_never_win() {
         let set = MinerSet::new(vec![
-            Miner { node: NodeId::new(0), hashrate: 0.0 },
-            Miner { node: NodeId::new(1), hashrate: 2.0 },
+            Miner {
+                node: NodeId::new(0),
+                hashrate: 0.0,
+            },
+            Miner {
+                node: NodeId::new(1),
+                hashrate: 2.0,
+            },
         ])
         .unwrap();
         let mut rng = StdRng::seed_from_u64(7);

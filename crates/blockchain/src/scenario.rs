@@ -261,7 +261,11 @@ mod tests {
         let metrics = metrics_with_deliveries(&[Some(0)]);
         let mut rng = StdRng::seed_from_u64(5);
         match race_transaction(&metrics, &miners, RaceConfig::default(), &mut rng) {
-            RaceOutcome::Included { miner, blocks_waited, at } => {
+            RaceOutcome::Included {
+                miner,
+                blocks_waited,
+                at,
+            } => {
                 assert_eq!(miner, NodeId::new(0));
                 assert_eq!(blocks_waited, 1);
                 assert!(at >= 1);

@@ -77,7 +77,7 @@ impl Transaction {
         hasher.update(&(originator.index() as u64).to_le_bytes());
         hasher.update(&(size_bytes as u64).to_le_bytes());
         hasher.update(&fee.to_le_bytes());
-        hasher.update(&(created_at as u64).to_le_bytes());
+        hasher.update(&created_at.to_le_bytes());
         TxId(hasher.finalize())
     }
 
@@ -132,10 +132,22 @@ mod tests {
     #[test]
     fn any_field_change_changes_the_id() {
         let base = Transaction::new(NodeId::new(1), 250, 100, 5);
-        assert_ne!(base.id(), Transaction::new(NodeId::new(2), 250, 100, 5).id());
-        assert_ne!(base.id(), Transaction::new(NodeId::new(1), 251, 100, 5).id());
-        assert_ne!(base.id(), Transaction::new(NodeId::new(1), 250, 101, 5).id());
-        assert_ne!(base.id(), Transaction::new(NodeId::new(1), 250, 100, 6).id());
+        assert_ne!(
+            base.id(),
+            Transaction::new(NodeId::new(2), 250, 100, 5).id()
+        );
+        assert_ne!(
+            base.id(),
+            Transaction::new(NodeId::new(1), 251, 100, 5).id()
+        );
+        assert_ne!(
+            base.id(),
+            Transaction::new(NodeId::new(1), 250, 101, 5).id()
+        );
+        assert_ne!(
+            base.id(),
+            Transaction::new(NodeId::new(1), 250, 100, 6).id()
+        );
     }
 
     #[test]

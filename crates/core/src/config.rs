@@ -111,7 +111,10 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::GroupSizeTooSmall { k } => {
-                write!(f, "group size k = {k} is too small; the DC-net needs at least 2 members")
+                write!(
+                    f,
+                    "group size k = {k} is too small; the DC-net needs at least 2 members"
+                )
             }
             ConfigError::SlotTooSmall { slot_len } => {
                 write!(f, "slot of {slot_len} bytes cannot carry any payload")
@@ -178,7 +181,10 @@ mod tests {
     fn default_config_is_valid_and_matches_the_paper_range() {
         let config = FlexConfig::default();
         assert!(config.validate().is_ok());
-        assert!((4..=10).contains(&config.k), "paper suggests k between 4 and 10");
+        assert!(
+            (4..=10).contains(&config.k),
+            "paper suggests k between 4 and 10"
+        );
     }
 
     #[test]
@@ -191,8 +197,10 @@ mod tests {
             FlexConfig::default().with_slot_len(4).validate(),
             Err(ConfigError::SlotTooSmall { slot_len: 4 })
         );
-        let mut config = FlexConfig::default();
-        config.max_dc_rounds = 0;
+        let config = FlexConfig {
+            max_dc_rounds: 0,
+            ..FlexConfig::default()
+        };
         assert_eq!(config.validate(), Err(ConfigError::NoDcRounds));
     }
 
@@ -225,8 +233,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ConfigError::GroupSizeTooSmall { k: 1 }.to_string().contains("k = 1"));
-        assert!(ConfigError::SlotTooSmall { slot_len: 2 }.to_string().contains("2"));
+        assert!(ConfigError::GroupSizeTooSmall { k: 1 }
+            .to_string()
+            .contains("k = 1"));
+        assert!(ConfigError::SlotTooSmall { slot_len: 2 }
+            .to_string()
+            .contains("2"));
         assert!(!ConfigError::NoDcRounds.to_string().is_empty());
     }
 }

@@ -207,7 +207,9 @@ pub fn run_flexible_broadcast(
     let mut traced_config = sim_config;
     traced_config.record_trace = true;
     let mut sim = Simulator::new(graph, nodes, traced_config);
-    sim.trigger(origin, |node, ctx| node.start_broadcast(payload.clone(), ctx));
+    sim.trigger(origin, |node, ctx| {
+        node.start_broadcast(payload.clone(), ctx)
+    });
     sim.run();
     let (_, metrics) = sim.into_parts();
     Ok(FlexReport::from_metrics(metrics, origin_group))
@@ -262,8 +264,9 @@ pub fn run_protocol(
         }
         ProtocolKind::AdaptiveDiffusion(params) => {
             let node_count = graph.node_count();
-            let nodes: Vec<AdaptiveDiffusionNode> =
-                (0..node_count).map(|_| AdaptiveDiffusionNode::new(params)).collect();
+            let nodes: Vec<AdaptiveDiffusionNode> = (0..node_count)
+                .map(|_| AdaptiveDiffusionNode::new(params))
+                .collect();
             let mut sim = Simulator::new(graph, nodes, traced);
             sim.trigger(origin, |node, ctx| node.start_broadcast(ctx));
             sim.run();
@@ -272,7 +275,8 @@ pub fn run_protocol(
         }
         ProtocolKind::Flexible(config) => {
             let payload = b"flexible broadcast payload".to_vec();
-            run_flexible_broadcast(graph, origin, payload, config, traced).map(|report| report.metrics)
+            run_flexible_broadcast(graph, origin, payload, config, traced)
+                .map(|report| report.metrics)
         }
     }
 }
@@ -295,10 +299,18 @@ mod tests {
             NodeId::new(17),
             b"pay 3 tokens to bob".to_vec(),
             FlexConfig::default(),
-            SimConfig { seed: 1, ..SimConfig::default() },
+            SimConfig {
+                seed: 1,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
-        assert_eq!(report.coverage(), 1.0, "metrics: {:?}", report.metrics.counters);
+        assert_eq!(
+            report.coverage(),
+            1.0,
+            "metrics: {:?}",
+            report.metrics.counters
+        );
         // All three phases actually ran.
         assert!(report.phase1_messages > 0, "phase 1 silent");
         assert!(report.phase2_messages > 0, "phase 2 silent");
@@ -317,7 +329,10 @@ mod tests {
                 NodeId::new(0),
                 b"tx".to_vec(),
                 FlexConfig::default().with_k(k),
-                SimConfig { seed: 2, ..SimConfig::default() },
+                SimConfig {
+                    seed: 2,
+                    ..SimConfig::default()
+                },
             )
             .unwrap()
             .phase1_messages
@@ -372,12 +387,23 @@ mod tests {
         let kinds = [
             ProtocolKind::Flood,
             ProtocolKind::Dandelion(DandelionParams::default()),
-            ProtocolKind::AdaptiveDiffusion(AdParams { max_rounds: 64, ..AdParams::default() }),
+            ProtocolKind::AdaptiveDiffusion(AdParams {
+                max_rounds: 64,
+                ..AdParams::default()
+            }),
             ProtocolKind::Flexible(FlexConfig::default()),
         ];
         for kind in kinds {
-            let metrics = run_protocol(kind, graph.clone(), NodeId::new(5), SimConfig { seed: 4, ..SimConfig::default() })
-                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let metrics = run_protocol(
+                kind,
+                graph.clone(),
+                NodeId::new(5),
+                SimConfig {
+                    seed: 4,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert_eq!(metrics.coverage(), 1.0, "{kind} did not reach everyone");
             assert!(!metrics.trace.is_empty(), "{kind} should be traced");
         }
@@ -392,7 +418,10 @@ mod tests {
                 NodeId::new(3),
                 b"tx".to_vec(),
                 FlexConfig::default(),
-                SimConfig { seed: 77, ..SimConfig::default() },
+                SimConfig {
+                    seed: 77,
+                    ..SimConfig::default()
+                },
             )
             .unwrap()
         };
@@ -415,6 +444,8 @@ mod tests {
     #[test]
     fn protocol_kind_display() {
         assert_eq!(ProtocolKind::Flood.to_string(), "flood");
-        assert!(ProtocolKind::Flexible(FlexConfig::default()).to_string().contains("k=5"));
+        assert!(ProtocolKind::Flexible(FlexConfig::default())
+            .to_string()
+            .contains("k=5"));
     }
 }

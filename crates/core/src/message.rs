@@ -105,7 +105,12 @@ impl Payload for FlexMessage {
 /// per-phase breakdown.
 pub const PHASE1_KINDS: &[&str] = &["flex-dc"];
 /// Phase-2 message kinds.
-pub const PHASE2_KINDS: &[&str] = &["flex-ad-infect", "flex-ad-spread", "flex-ad-token", "flex-final"];
+pub const PHASE2_KINDS: &[&str] = &[
+    "flex-ad-infect",
+    "flex-ad-spread",
+    "flex-ad-token",
+    "flex-final",
+];
 /// Phase-3 message kinds.
 pub const PHASE3_KINDS: &[&str] = &["flex-flood"];
 
@@ -116,12 +121,27 @@ mod tests {
     #[test]
     fn kinds_and_phases_are_consistent() {
         let samples = [
-            FlexMessage::DcContribution { round: 0, member_index: 1, data: vec![0; 10] },
-            FlexMessage::AdInfect { round: 1, payload: vec![0; 10] },
+            FlexMessage::DcContribution {
+                round: 0,
+                member_index: 1,
+                data: vec![0; 10],
+            },
+            FlexMessage::AdInfect {
+                round: 1,
+                payload: vec![0; 10],
+            },
             FlexMessage::AdSpread { round: 1 },
-            FlexMessage::AdToken { t: 2, h: 1, round: 1 },
-            FlexMessage::FinalSpread { payload: vec![0; 10] },
-            FlexMessage::Flood { payload: vec![0; 10] },
+            FlexMessage::AdToken {
+                t: 2,
+                h: 1,
+                round: 1,
+            },
+            FlexMessage::FinalSpread {
+                payload: vec![0; 10],
+            },
+            FlexMessage::Flood {
+                payload: vec![0; 10],
+            },
         ];
         for message in &samples {
             let kind = message.kind();
@@ -138,20 +158,37 @@ mod tests {
 
     #[test]
     fn payload_carrying_messages_report_payload_plus_header() {
-        let message = FlexMessage::Flood { payload: vec![0; 200] };
+        let message = FlexMessage::Flood {
+            payload: vec![0; 200],
+        };
         assert_eq!(message.size_bytes(), 240);
-        let message = FlexMessage::DcContribution { round: 0, member_index: 0, data: vec![0; 300] };
+        let message = FlexMessage::DcContribution {
+            round: 0,
+            member_index: 0,
+            data: vec![0; 300],
+        };
         assert_eq!(message.size_bytes(), 340);
     }
 
     #[test]
     fn control_messages_are_small() {
         assert!(FlexMessage::AdSpread { round: 1 }.size_bytes() < 100);
-        assert!(FlexMessage::AdToken { t: 2, h: 1, round: 0 }.size_bytes() < 100);
+        assert!(
+            FlexMessage::AdToken {
+                t: 2,
+                h: 1,
+                round: 0
+            }
+            .size_bytes()
+                < 100
+        );
     }
 
     #[test]
     fn every_phase_is_covered_by_kind_lists() {
-        assert_eq!(PHASE1_KINDS.len() + PHASE2_KINDS.len() + PHASE3_KINDS.len(), 6);
+        assert_eq!(
+            PHASE1_KINDS.len() + PHASE2_KINDS.len() + PHASE3_KINDS.len(),
+            6
+        );
     }
 }

@@ -385,7 +385,12 @@ impl FlexNode {
     }
 
     /// Sends infections to neighbours that are neither parent nor children.
-    fn grow_frontier(&mut self, round: u32, excluded: &[NodeId], ctx: &mut Context<'_, FlexMessage>) {
+    fn grow_frontier(
+        &mut self,
+        round: u32,
+        excluded: &[NodeId],
+        ctx: &mut Context<'_, FlexMessage>,
+    ) {
         if self.flooding {
             return;
         }
@@ -440,7 +445,12 @@ impl FlexNode {
             self.ad.token = Some(token);
             let payload = self.payload_clone();
             for child in self.ad.children.clone() {
-                ctx.send(child, FlexMessage::FinalSpread { payload: payload.clone() });
+                ctx.send(
+                    child,
+                    FlexMessage::FinalSpread {
+                        payload: payload.clone(),
+                    },
+                );
             }
             self.start_flooding(ctx, None);
             return;
@@ -526,16 +536,25 @@ impl ProtocolNode for FlexNode {
         }
     }
 
-    fn on_message(&mut self, from: NodeId, message: FlexMessage, ctx: &mut Context<'_, FlexMessage>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: FlexMessage,
+        ctx: &mut Context<'_, FlexMessage>,
+    ) {
         match message {
-            FlexMessage::DcContribution { round, member_index, data } => {
+            FlexMessage::DcContribution {
+                round,
+                member_index,
+                data,
+            } => {
                 self.on_dc_contribution(round, member_index, data, ctx);
             }
             FlexMessage::AdInfect { round, payload } => {
                 if self.learn_payload(&payload, ctx) {
                     self.ad.parent = Some(from);
                 }
-            // Note: an already-informed node ignores repeated infections.
+                // Note: an already-informed node ignores repeated infections.
                 let _ = round;
             }
             FlexMessage::AdSpread { round } => {
@@ -586,7 +605,12 @@ impl ProtocolNode for FlexNode {
                 let forwarded = payload.clone();
                 for child in self.ad.children.clone() {
                     if child != from {
-                        ctx.send(child, FlexMessage::FinalSpread { payload: forwarded.clone() });
+                        ctx.send(
+                            child,
+                            FlexMessage::FinalSpread {
+                                payload: forwarded.clone(),
+                            },
+                        );
                     }
                 }
                 self.start_flooding(ctx, Some(from));

@@ -1,0 +1,240 @@
+//! # criterion — offline shim
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the [`criterion` 0.5](https://docs.rs/criterion/0.5) API the
+//! workspace's twelve `harness = false` bench targets use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Unlike upstream it performs no statistical analysis: every benchmark is
+//! warmed up once, timed over an adaptively chosen iteration count, and the
+//! mean wall-clock time per iteration is printed. That is deliberate — these
+//! benches gate compilation (`cargo bench --no-run` in CI) and give coarse
+//! regression signals, not publication-quality confidence intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Iteration-count ceiling so fast closures don't spin for long.
+const MAX_ITERS: u64 = 100_000;
+
+/// The benchmark manager: entry point handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count. Accepted for API compatibility; the shim's
+    /// adaptive timing ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group. A no-op in the shim.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group: a name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.name, p),
+            (false, None) => write!(f, "{}", self.name),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count against
+    /// [`TARGET`], and records the mean duration per call.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up / calibration pass.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(start.elapsed() / iters as u32);
+        self.iters = iters;
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measured: None,
+        iters: 0,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some(mean) => println!("{id:<60} {:>14.3?}/iter ({} iters)", mean, bencher.iters),
+        None => println!("{id:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark of this group (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a real
+            // criterion parses them, the shim just ignores argv.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::from("name").to_string(), "name");
+    }
+}

@@ -55,12 +55,8 @@ impl ChaCha20 {
         let mut state = [0u32; 16];
         state[..4].copy_from_slice(&CONSTANTS);
         for i in 0..8 {
-            state[4 + i] = u32::from_le_bytes([
-                key[i * 4],
-                key[i * 4 + 1],
-                key[i * 4 + 2],
-                key[i * 4 + 3],
-            ]);
+            state[4 + i] =
+                u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
         }
         state[12] = counter;
         for i in 0..3 {
@@ -123,8 +119,8 @@ impl ChaCha20 {
             Self::quarter_round(&mut working, 2, 7, 8, 13);
             Self::quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            let word = working[i].wrapping_add(self.state[i]);
+        for (i, &mixed) in working.iter().enumerate() {
+            let word = mixed.wrapping_add(self.state[i]);
             self.buffer[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
         }
         self.state[12] = self.state[12].wrapping_add(1);

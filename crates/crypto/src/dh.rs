@@ -250,7 +250,10 @@ mod tests {
         for _ in 0..20 {
             let a = KeyPair::generate(&mut rng);
             let b = KeyPair::generate(&mut rng);
-            assert_eq!(a.shared_secret(&b.public_key()), b.shared_secret(&a.public_key()));
+            assert_eq!(
+                a.shared_secret(&b.public_key()),
+                b.shared_secret(&a.public_key())
+            );
         }
     }
 
@@ -260,7 +263,10 @@ mod tests {
         let a = KeyPair::generate(&mut rng);
         let b = KeyPair::generate(&mut rng);
         let c = KeyPair::generate(&mut rng);
-        assert_ne!(a.shared_secret(&b.public_key()), a.shared_secret(&c.public_key()));
+        assert_ne!(
+            a.shared_secret(&b.public_key()),
+            a.shared_secret(&c.public_key())
+        );
     }
 
     #[test]

@@ -142,6 +142,8 @@ mod tests {
             index: 4,
         };
         assert!(err.to_string().contains("index 4"));
-        assert!(DecodeHexError::OddLength { len: 7 }.to_string().contains('7'));
+        assert!(DecodeHexError::OddLength { len: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn from_prk_matches_extract_then_expand() {
-        let prk = crate::hmac::hmac_sha256(b"salt", b"ikm");
+        let prk = hmac_sha256(b"salt", b"ikm");
         let a = Hkdf::from_prk(prk);
         let b = Hkdf::extract(Some(b"salt"), b"ikm");
         let ka: [u8; 16] = a.derive_key(b"x").unwrap();

@@ -88,7 +88,10 @@ impl Identity {
 ///
 /// Returned as a fixed array so distances of different identities for the
 /// same message can be compared with the ordinary `Ord` on arrays.
-pub fn hash_distance(fingerprint: &[u8; DIGEST_LEN], digest: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+pub fn hash_distance(
+    fingerprint: &[u8; DIGEST_LEN],
+    digest: &[u8; DIGEST_LEN],
+) -> [u8; DIGEST_LEN] {
     let mut out = [0u8; DIGEST_LEN];
     for i in 0..DIGEST_LEN {
         out[i] = fingerprint[i] ^ digest[i];
@@ -158,7 +161,10 @@ mod tests {
         assert_eq!(zero, [0u8; DIGEST_LEN]);
 
         let b = Identity::from_node_index(2);
-        assert_ne!(hash_distance(a.fingerprint(), b.fingerprint()), [0u8; DIGEST_LEN]);
+        assert_ne!(
+            hash_distance(a.fingerprint(), b.fingerprint()),
+            [0u8; DIGEST_LEN]
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod sha256;
 pub use chacha20::ChaCha20;
 pub use crc32::{crc32, Crc32};
 pub use dh::{pairwise_pad_key, KeyPair, PublicKey};
-pub use hkdf::Hkdf;
+pub use hkdf::{hkdf_sha256, Hkdf};
 pub use hmac::{hmac_sha256, HmacSha256};
 pub use identity::{elect_virtual_source, elect_virtual_source_index, hash_distance, Identity};
 pub use prg::{combine_shares, random_shares, xor, xor_into, PadGenerator};

@@ -228,7 +228,7 @@ mod tests {
         ) {
             let mut rng = StdRng::seed_from_u64(b_seed);
             let mut b = vec![0u8; a.len()];
-            rand::Rng::fill(&mut rng, b.as_mut_slice());
+            Rng::fill(&mut rng, b.as_mut_slice());
             let c = xor(&a, &b);
             prop_assert_eq!(xor(&c, &b), a);
         }

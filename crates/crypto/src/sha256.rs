@@ -302,13 +302,17 @@ mod tests {
     #[test]
     fn digest_chunks_concatenates() {
         let expected = Sha256::digest(b"hello world");
-        let actual = Sha256::digest_chunks([b"hello".as_slice(), b" ".as_slice(), b"world".as_slice()]);
+        let actual =
+            Sha256::digest_chunks([b"hello".as_slice(), b" ".as_slice(), b"world".as_slice()]);
         assert_eq!(expected, actual);
     }
 
     #[test]
     fn different_inputs_produce_different_digests() {
-        assert_ne!(Sha256::digest(b"transaction-1"), Sha256::digest(b"transaction-2"));
+        assert_ne!(
+            Sha256::digest(b"transaction-1"),
+            Sha256::digest(b"transaction-2")
+        );
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Conformance of the from-scratch primitives against published test
+//! vectors: SHA-256 (NIST FIPS 180-4 examples), HMAC-SHA-256 (RFC 4231),
+//! HKDF-SHA-256 (RFC 5869 appendix A) and ChaCha20 (RFC 8439).
+
+use fnp_crypto::hex;
+use fnp_crypto::{hkdf_sha256, hmac_sha256, ChaCha20, HmacSha256, Sha256};
+
+fn unhex(text: &str) -> Vec<u8> {
+    hex::decode(text).expect("test vector hex")
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 — FIPS 180-4 / NIST CAVP example vectors.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sha256_nist_vectors() {
+    let cases: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+              ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+    ];
+    for (message, digest) in cases {
+        assert_eq!(
+            Sha256::digest(message).to_vec(),
+            unhex(digest),
+            "SHA-256({:?})",
+            String::from_utf8_lossy(message)
+        );
+    }
+}
+
+#[test]
+fn sha256_million_a() {
+    let mut hasher = Sha256::new();
+    let chunk = [b'a'; 1000];
+    for _ in 0..1000 {
+        hasher.update(&chunk);
+    }
+    assert_eq!(
+        hasher.finalize().to_vec(),
+        unhex("cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+    );
+}
+
+#[test]
+fn sha256_streaming_matches_one_shot_at_block_boundaries() {
+    // 55/56/64/65 bytes straddle the padding edge cases of the 64-byte block.
+    for len in [1usize, 55, 56, 63, 64, 65, 127, 128, 1000] {
+        let message = vec![0x5au8; len];
+        let mut streaming = Sha256::new();
+        for byte in &message {
+            streaming.update(std::slice::from_ref(byte));
+        }
+        assert_eq!(
+            streaming.finalize(),
+            Sha256::digest(&message),
+            "length {len}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA-256 — RFC 4231 test cases 1–7.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hmac_sha256_rfc4231_vectors() {
+    struct Case {
+        key: Vec<u8>,
+        data: Vec<u8>,
+        mac: &'static str,
+        truncate_to: usize,
+    }
+    let cases = [
+        // Test case 1
+        Case {
+            key: vec![0x0b; 20],
+            data: b"Hi There".to_vec(),
+            mac: "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+            truncate_to: 32,
+        },
+        // Test case 2: key shorter than block size
+        Case {
+            key: b"Jefe".to_vec(),
+            data: b"what do ya want for nothing?".to_vec(),
+            mac: "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+            truncate_to: 32,
+        },
+        // Test case 3: combined key/data of 0xaa / 0xdd
+        Case {
+            key: vec![0xaa; 20],
+            data: vec![0xdd; 50],
+            mac: "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+            truncate_to: 32,
+        },
+        // Test case 4: counting key
+        Case {
+            key: unhex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+            data: vec![0xcd; 50],
+            mac: "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+            truncate_to: 32,
+        },
+        // Test case 5: RFC truncates the output to 128 bits
+        Case {
+            key: vec![0x0c; 20],
+            data: b"Test With Truncation".to_vec(),
+            mac: "a3b6167473100ee06e0c796c2955552b",
+            truncate_to: 16,
+        },
+        // Test case 6: key larger than block size
+        Case {
+            key: vec![0xaa; 131],
+            data: b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+            mac: "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+            truncate_to: 32,
+        },
+        // Test case 7: key and data both larger than block size
+        Case {
+            key: vec![0xaa; 131],
+            data: b"This is a test using a larger than block-size key and a larger \
+                    than block-size data. The key needs to be hashed before being \
+                    used by the HMAC algorithm."
+                .to_vec(),
+            mac: "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+            truncate_to: 32,
+        },
+    ];
+    for (index, case) in cases.iter().enumerate() {
+        let mac = hmac_sha256(&case.key, &case.data);
+        assert_eq!(
+            mac[..case.truncate_to].to_vec(),
+            unhex(case.mac),
+            "RFC 4231 test case {}",
+            index + 1
+        );
+    }
+}
+
+#[test]
+fn hmac_incremental_matches_one_shot() {
+    let key = vec![0xaa; 131];
+    let data: Vec<u8> = (0u16..300).map(|i| i as u8).collect();
+    let mut mac = HmacSha256::new(&key);
+    for chunk in data.chunks(7) {
+        mac.update(chunk);
+    }
+    assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
+}
+
+// ---------------------------------------------------------------------------
+// HKDF-SHA-256 — RFC 5869 appendix A.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hkdf_rfc5869_case_1_basic() {
+    let ikm = vec![0x0b; 22];
+    let salt = unhex("000102030405060708090a0b0c");
+    let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+    // HKDF-Extract is HMAC(salt, ikm); check the intermediate PRK too.
+    assert_eq!(
+        hmac_sha256(&salt, &ikm).to_vec(),
+        unhex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"),
+    );
+    let okm = hkdf_sha256(Some(&salt), &ikm, &info, 42).unwrap();
+    assert_eq!(
+        okm,
+        unhex(
+            "3cb25f25faacd57a90434f64d0362f2a\
+             2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        ),
+    );
+}
+
+#[test]
+fn hkdf_rfc5869_case_2_long_inputs() {
+    let ikm: Vec<u8> = (0x00..=0x4f).collect();
+    let salt: Vec<u8> = (0x60..=0xaf).collect();
+    let info: Vec<u8> = (0xb0..=0xff).collect();
+    let okm = hkdf_sha256(Some(&salt), &ikm, &info, 82).unwrap();
+    assert_eq!(
+        okm,
+        unhex(
+            "b11e398dc80327a1c8e7f78c596a4934\
+             4f012eda2d4efad8a050cc4c19afa97c\
+             59045a99cac7827271cb41c65e590e09\
+             da3275600c2f09b8367793a9aca3db71\
+             cc30c58179ec3e87c14c01d5c1f3434f\
+             1d87"
+        ),
+    );
+}
+
+#[test]
+fn hkdf_rfc5869_case_3_zero_salt_and_info() {
+    let ikm = vec![0x0b; 22];
+    assert_eq!(
+        hmac_sha256(&[0u8; 32], &ikm).to_vec(),
+        unhex("19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04"),
+    );
+    let okm = hkdf_sha256(None, &ikm, &[], 42).unwrap();
+    assert_eq!(
+        okm,
+        unhex(
+            "8da4e775a563c18f715f802a063c5a31\
+             b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        ),
+    );
+}
+
+#[test]
+fn hkdf_rejects_oversized_output() {
+    // RFC 5869: L must be at most 255 * HashLen.
+    assert!(hkdf_sha256(None, b"ikm", b"", 255 * 32).is_ok());
+    assert!(hkdf_sha256(None, b"ikm", b"", 255 * 32 + 1).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// ChaCha20 — RFC 8439 §2.3.2 (block function) and §2.4.2 (encryption).
+// ---------------------------------------------------------------------------
+
+fn rfc8439_key() -> [u8; 32] {
+    let mut key = [0u8; 32];
+    for (i, byte) in key.iter_mut().enumerate() {
+        *byte = i as u8;
+    }
+    key
+}
+
+#[test]
+fn chacha20_rfc8439_block_function() {
+    let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
+    let mut cipher = ChaCha20::new(&rfc8439_key(), &nonce, 1);
+    assert_eq!(
+        cipher.keystream(64),
+        unhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4\
+             c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2\
+             b5129cd1de164eb9cbd083e8a2503c4e"
+        ),
+    );
+}
+
+#[test]
+fn chacha20_rfc8439_encryption() {
+    let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+    let plaintext: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could \
+                             offer you only one tip for the future, sunscreen would \
+                             be it.";
+    let mut data = plaintext.to_vec();
+    ChaCha20::new(&rfc8439_key(), &nonce, 1).apply_keystream(&mut data);
+    assert_eq!(
+        data,
+        unhex(
+            "6e2e359a2568f98041ba0728dd0d6981\
+             e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b357\
+             1639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e\
+             52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42\
+             874d"
+        ),
+    );
+    // Decryption is the same keystream XOR.
+    ChaCha20::new(&rfc8439_key(), &nonce, 1).apply_keystream(&mut data);
+    assert_eq!(data, plaintext);
+}
+
+#[test]
+fn chacha20_keystream_is_position_independent() {
+    let nonce = [7u8; 12];
+    let mut whole = ChaCha20::new(&rfc8439_key(), &nonce, 0);
+    let expected = whole.keystream(300);
+    let mut pieces = ChaCha20::new(&rfc8439_key(), &nonce, 0);
+    let mut got = Vec::new();
+    for take in [1usize, 63, 64, 65, 100, 7] {
+        got.extend(pieces.keystream(take));
+    }
+    assert_eq!(got, expected);
+}

@@ -334,9 +334,7 @@ mod tests {
         evidence.received[1].insert(0, vec![1, 2, 3]);
         revelations[0].shares_sent.insert(1, vec![1, 2, 3]);
         let verdict = investigate(&revelations, &evidence, SLOT);
-        assert!(verdict
-            .blamed
-            .contains(&(0, BlameReason::Disruption)));
+        assert!(verdict.blamed.contains(&(0, BlameReason::Disruption)));
     }
 
     #[test]
@@ -354,7 +352,9 @@ mod tests {
 
     #[test]
     fn blame_reason_display() {
-        assert!(BlameReason::Equivocation.to_string().contains("equivocated"));
+        assert!(BlameReason::Equivocation
+            .to_string()
+            .contains("equivocated"));
         assert!(BlameReason::Disruption.to_string().contains("malformed"));
         assert!(BlameReason::DeniedSending.to_string().contains("denied"));
     }

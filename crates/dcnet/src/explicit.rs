@@ -67,17 +67,26 @@ impl fmt::Display for ExplicitRoundError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExplicitRoundError::GroupTooSmall { size } => {
-                write!(f, "dc-net group of size {size} is too small (need at least 2)")
+                write!(
+                    f,
+                    "dc-net group of size {size} is too small (need at least 2)"
+                )
             }
             ExplicitRoundError::MemberOutOfRange { index, size } => {
                 write!(f, "member index {index} outside group of size {size}")
             }
             ExplicitRoundError::PayloadTooLarge(inner) => write!(f, "{inner}"),
             ExplicitRoundError::UnexpectedMessage { from, phase } => {
-                write!(f, "unexpected message from member {from} in phase {phase:?}")
+                write!(
+                    f,
+                    "unexpected message from member {from} in phase {phase:?}"
+                )
             }
             ExplicitRoundError::WrongSlotLength { received, expected } => {
-                write!(f, "received blob of {received} bytes, expected slot of {expected} bytes")
+                write!(
+                    f,
+                    "received blob of {received} bytes, expected slot of {expected} bytes"
+                )
             }
         }
     }
@@ -226,7 +235,10 @@ impl ExplicitParticipant {
         self.check_peer(from)?;
         self.check_len(&share)?;
         if self.phase != Phase::Sharing || self.received_shares.contains_key(&from) {
-            return Err(ExplicitRoundError::UnexpectedMessage { from, phase: self.phase });
+            return Err(ExplicitRoundError::UnexpectedMessage {
+                from,
+                phase: self.phase,
+            });
         }
         self.received_shares.insert(from, share);
         if self.received_shares.len() == self.size - 1 {
@@ -262,7 +274,10 @@ impl ExplicitParticipant {
         self.check_peer(from)?;
         self.check_len(&accumulation)?;
         if self.phase != Phase::Accumulating || self.received_accumulations.contains_key(&from) {
-            return Err(ExplicitRoundError::UnexpectedMessage { from, phase: self.phase });
+            return Err(ExplicitRoundError::UnexpectedMessage {
+                from,
+                phase: self.phase,
+            });
         }
         self.received_accumulations.insert(from, accumulation);
         if self.received_accumulations.len() == self.size - 1 {
@@ -294,7 +309,10 @@ impl ExplicitParticipant {
         self.check_peer(from)?;
         self.check_len(&value)?;
         if self.phase != Phase::Finalizing || self.received_finals.contains_key(&from) {
-            return Err(ExplicitRoundError::UnexpectedMessage { from, phase: self.phase });
+            return Err(ExplicitRoundError::UnexpectedMessage {
+                from,
+                phase: self.phase,
+            });
         }
         self.received_finals.insert(from, value);
         if self.received_finals.len() == self.size - 1 {
@@ -514,14 +532,20 @@ mod tests {
     #[test]
     fn group_of_one_is_rejected() {
         let result = run_explicit_round(&[Some(b"hi".to_vec())], 32, &mut rng(5));
-        assert!(matches!(result, Err(ExplicitRoundError::GroupTooSmall { size: 1 })));
+        assert!(matches!(
+            result,
+            Err(ExplicitRoundError::GroupTooSmall { size: 1 })
+        ));
     }
 
     #[test]
     fn oversized_payload_is_rejected() {
         let payloads = vec![Some(vec![0u8; 100]), None, None];
         let result = run_explicit_round(&payloads, 64, &mut rng(6));
-        assert!(matches!(result, Err(ExplicitRoundError::PayloadTooLarge(_))));
+        assert!(matches!(
+            result,
+            Err(ExplicitRoundError::PayloadTooLarge(_))
+        ));
     }
 
     #[test]
@@ -586,7 +610,10 @@ mod tests {
         assert_eq!(p.revealed_shares().len(), 3);
         assert_eq!(p.group_size(), 4);
         assert_eq!(p.index(), 1);
-        assert_eq!(slot::decode(p.contributed_slot()), SlotOutcome::Message(b"msg".to_vec()));
+        assert_eq!(
+            slot::decode(p.contributed_slot()),
+            SlotOutcome::Message(b"msg".to_vec())
+        );
     }
 
     #[test]
@@ -594,8 +621,14 @@ mod tests {
         let errors: Vec<ExplicitRoundError> = vec![
             ExplicitRoundError::GroupTooSmall { size: 1 },
             ExplicitRoundError::MemberOutOfRange { index: 9, size: 3 },
-            ExplicitRoundError::UnexpectedMessage { from: 2, phase: Phase::Sharing },
-            ExplicitRoundError::WrongSlotLength { received: 3, expected: 64 },
+            ExplicitRoundError::UnexpectedMessage {
+                from: 2,
+                phase: Phase::Sharing,
+            },
+            ExplicitRoundError::WrongSlotLength {
+                received: 3,
+                expected: 64,
+            },
         ];
         for error in errors {
             assert!(!error.to_string().is_empty());

@@ -61,14 +61,20 @@ impl fmt::Display for KeyedDcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KeyedDcError::GroupTooSmall { size } => {
-                write!(f, "keyed dc-net group of size {size} is too small (need at least 2)")
+                write!(
+                    f,
+                    "keyed dc-net group of size {size} is too small (need at least 2)"
+                )
             }
             KeyedDcError::MemberOutOfRange { index, size } => {
                 write!(f, "member index {index} outside group of size {size}")
             }
             KeyedDcError::PayloadTooLarge(inner) => write!(f, "{inner}"),
             KeyedDcError::WrongSlotLength { received, expected } => {
-                write!(f, "contribution of {received} bytes, expected {expected} bytes")
+                write!(
+                    f,
+                    "contribution of {received} bytes, expected {expected} bytes"
+                )
             }
             KeyedDcError::MissingContributions { received, expected } => {
                 write!(f, "only {received} of {expected} contributions received")
@@ -296,7 +302,9 @@ impl KeyedDcGroup {
             .participants
             .iter_mut()
             .zip(payloads.iter())
-            .map(|(participant, payload)| participant.contribution(round, slot_len, payload.as_deref()))
+            .map(|(participant, payload)| {
+                participant.contribution(round, slot_len, payload.as_deref())
+            })
             .collect::<Result<_, _>>()?;
         let outcome = combine_contributions(&contributions)?;
         let k = self.participants.len() as u64;
@@ -343,7 +351,10 @@ mod tests {
         let mut payloads = vec![None; 4];
         payloads[2] = Some(b"anonymous transaction".to_vec());
         let report = group.run_round(7, &payloads).unwrap();
-        assert_eq!(report.outcome, SlotOutcome::Message(b"anonymous transaction".to_vec()));
+        assert_eq!(
+            report.outcome,
+            SlotOutcome::Message(b"anonymous transaction".to_vec())
+        );
         assert_eq!(report.messages_sent, expected_message_count(4));
         assert_eq!(report.bytes_sent, 12 * 128);
     }
@@ -367,7 +378,10 @@ mod tests {
             group.run_round(5, &payloads).unwrap().outcome,
             SlotOutcome::Message(b"round five".to_vec())
         );
-        assert_eq!(group.run_round(6, &vec![None; 3]).unwrap().outcome, SlotOutcome::Silence);
+        assert_eq!(
+            group.run_round(6, &vec![None; 3]).unwrap().outcome,
+            SlotOutcome::Silence
+        );
     }
 
     #[test]
@@ -421,7 +435,10 @@ mod tests {
             .map(|(p, m)| p.contribution(3, 64, m.as_deref()).unwrap())
             .collect();
         for contribution in &contributions {
-            assert_ne!(slot::decode(contribution), SlotOutcome::Message(message.clone()));
+            assert_ne!(
+                slot::decode(contribution),
+                SlotOutcome::Message(message.clone())
+            );
         }
         assert_eq!(
             combine_contributions(&contributions).unwrap(),
@@ -432,7 +449,10 @@ mod tests {
     #[test]
     fn keyed_is_cheaper_than_explicit() {
         for k in 2..=16 {
-            assert!(expected_message_count(k) < crate::explicit::expected_message_count(k).max(1) || k < 2);
+            assert!(
+                expected_message_count(k) < crate::explicit::expected_message_count(k).max(1)
+                    || k < 2
+            );
             assert_eq!(
                 crate::explicit::expected_message_count(k),
                 3 * expected_message_count(k)
@@ -445,8 +465,14 @@ mod tests {
         for error in [
             KeyedDcError::GroupTooSmall { size: 0 },
             KeyedDcError::MemberOutOfRange { index: 4, size: 2 },
-            KeyedDcError::WrongSlotLength { received: 1, expected: 2 },
-            KeyedDcError::MissingContributions { received: 1, expected: 3 },
+            KeyedDcError::WrongSlotLength {
+                received: 1,
+                expected: 2,
+            },
+            KeyedDcError::MissingContributions {
+                received: 1,
+                expected: 3,
+            },
         ] {
             assert!(!error.to_string().is_empty());
         }

@@ -52,7 +52,9 @@ pub mod keyed;
 pub mod reservation;
 pub mod slot;
 
-pub use blame::{investigate, BlamePolicy, BlameReason, BlameVerdict, MemberRevelation, RoundEvidence};
+pub use blame::{
+    investigate, BlamePolicy, BlameReason, BlameVerdict, MemberRevelation, RoundEvidence,
+};
 pub use explicit::{run_explicit_round, ExplicitParticipant, ExplicitRoundReport};
 pub use keyed::{combine_contributions, KeyedDcGroup, KeyedParticipant, KeyedRoundReport};
 pub use reservation::{
@@ -87,15 +89,20 @@ mod tests {
                 }
             }
 
-            let explicit_report =
-                explicit::run_explicit_round(&payloads, slot_len, &mut rng).unwrap();
+            let explicit_report = run_explicit_round(&payloads, slot_len, &mut rng).unwrap();
             let mut keyed_group = KeyedDcGroup::new(size, slot_len, &mut rng).unwrap();
             let keyed_report = keyed_group.run_round(0, &payloads).unwrap();
 
             // Compare the view of a silent member (index 2 is always silent).
-            assert_eq!(explicit_report.outcomes[2], keyed_report.outcome, "scenario {scenario}");
+            assert_eq!(
+                explicit_report.outcomes[2], keyed_report.outcome,
+                "scenario {scenario}"
+            );
             // The keyed variant costs a third of the explicit one in messages.
-            assert_eq!(explicit_report.messages_sent, 3 * keyed_report.messages_sent);
+            assert_eq!(
+                explicit_report.messages_sent,
+                3 * keyed_report.messages_sent
+            );
         }
     }
 

@@ -194,7 +194,10 @@ mod tests {
     #[test]
     fn malformed_announcement_is_collision() {
         let outcome = SlotOutcome::Message(vec![1, 2, 3]);
-        assert_eq!(interpret_reservation(&outcome), ReservationOutcome::Collision);
+        assert_eq!(
+            interpret_reservation(&outcome),
+            ReservationOutcome::Collision
+        );
         assert_eq!(
             interpret_reservation(&SlotOutcome::Collision),
             ReservationOutcome::Collision
@@ -204,7 +207,10 @@ mod tests {
     #[test]
     fn no_announcement_encodes_to_none() {
         assert_eq!(encode_announcement(None), None);
-        assert_eq!(encode_announcement(Some(7)).unwrap(), 7u32.to_le_bytes().to_vec());
+        assert_eq!(
+            encode_announcement(Some(7)).unwrap(),
+            7u32.to_le_bytes().to_vec()
+        );
     }
 
     #[test]
@@ -246,7 +252,10 @@ mod tests {
             None,
         ];
         let report = group.run_round(0, &announcements).unwrap();
-        assert_eq!(interpret_reservation(&report.outcome), ReservationOutcome::Collision);
+        assert_eq!(
+            interpret_reservation(&report.outcome),
+            ReservationOutcome::Collision
+        );
     }
 
     #[test]

@@ -197,7 +197,7 @@ mod tests {
         // Hand-craft a frame with an absurd length prefix but valid CRC.
         let mut body = vec![0u8; 60];
         body[..4].copy_from_slice(&1000u32.to_le_bytes());
-        let crc = fnp_crypto::crc32::crc32(&body);
+        let crc = crc32(&body);
         let mut slot = body;
         slot.extend_from_slice(&crc.to_le_bytes());
         assert_eq!(decode(&slot), SlotOutcome::Collision);
@@ -210,7 +210,7 @@ mod tests {
         body[4] = b'h';
         body[5] = b'i';
         body[30] = 0xFF; // padding byte that should be zero
-        let crc = fnp_crypto::crc32::crc32(&body);
+        let crc = crc32(&body);
         let mut slot = body;
         slot.extend_from_slice(&crc.to_le_bytes());
         assert_eq!(decode(&slot), SlotOutcome::Collision);
@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn outcome_display() {
         assert_eq!(SlotOutcome::Silence.to_string(), "silence");
-        assert_eq!(SlotOutcome::Message(vec![1, 2]).to_string(), "message(2 bytes)");
+        assert_eq!(
+            SlotOutcome::Message(vec![1, 2]).to_string(),
+            "message(2 bytes)"
+        );
         assert_eq!(SlotOutcome::Collision.to_string(), "collision");
     }
 

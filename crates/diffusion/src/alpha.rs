@@ -103,9 +103,18 @@ mod tests {
 
     #[test]
     fn fixed_schedule_clamps() {
-        assert_eq!(AlphaSchedule::Fixed { probability: 0.3 }.keep_probability(4, 1), 0.3);
-        assert_eq!(AlphaSchedule::Fixed { probability: 1.7 }.keep_probability(4, 1), 1.0);
-        assert_eq!(AlphaSchedule::Fixed { probability: -0.2 }.keep_probability(4, 1), 0.0);
+        assert_eq!(
+            AlphaSchedule::Fixed { probability: 0.3 }.keep_probability(4, 1),
+            0.3
+        );
+        assert_eq!(
+            AlphaSchedule::Fixed { probability: 1.7 }.keep_probability(4, 1),
+            1.0
+        );
+        assert_eq!(
+            AlphaSchedule::Fixed { probability: -0.2 }.keep_probability(4, 1),
+            0.0
+        );
     }
 
     #[test]
@@ -148,7 +157,10 @@ mod tests {
 
     #[test]
     fn default_is_degree_eight_tree() {
-        assert_eq!(AlphaSchedule::default(), AlphaSchedule::RegularTree { degree: 8 });
+        assert_eq!(
+            AlphaSchedule::default(),
+            AlphaSchedule::RegularTree { degree: 8 }
+        );
     }
 
     #[test]

@@ -334,7 +334,10 @@ impl ProtocolNode for AdaptiveDiffusionNode {
                 // infection relation cannot circulate a wave indefinitely.
                 self.infect(Some(from), ctx);
                 let infection = self.infection.as_mut().expect("infected above");
-                if infection.last_spread_round.is_some_and(|seen| seen >= round) {
+                if infection
+                    .last_spread_round
+                    .is_some_and(|seen| seen >= round)
+                {
                     return;
                 }
                 infection.last_spread_round = Some(round);
@@ -405,7 +408,15 @@ mod tests {
     fn message_kinds_and_sizes() {
         assert_eq!(AdMessage::Infect { round: 1 }.kind(), "ad-infect");
         assert_eq!(AdMessage::Spread { round: 1 }.kind(), "ad-spread");
-        assert_eq!(AdMessage::Token { t: 2, h: 1, round: 1 }.kind(), "ad-token");
+        assert_eq!(
+            AdMessage::Token {
+                t: 2,
+                h: 1,
+                round: 1
+            }
+            .kind(),
+            "ad-token"
+        );
         assert_eq!(AdMessage::Infect { round: 1 }.size_bytes(), 256);
         assert!(AdMessage::Spread { round: 1 }.size_bytes() < 256);
     }
@@ -418,7 +429,11 @@ mod tests {
         };
         let (_, metrics) = run(100, 4, params, 1);
         // After 6 rounds a meaningful portion of a 100-node graph is infected.
-        assert!(metrics.delivered_count() > 10, "only {}", metrics.delivered_count());
+        assert!(
+            metrics.delivered_count() > 10,
+            "only {}",
+            metrics.delivered_count()
+        );
         assert!(metrics.messages_of_kind("ad-infect") > 0);
         assert!(metrics.messages_of_kind("ad-token") >= 1);
         assert_eq!(metrics.counter("ad-origin"), 1);
@@ -431,7 +446,12 @@ mod tests {
             ..AdParams::default()
         };
         let (_, metrics) = run(100, 4, params, 2);
-        assert_eq!(metrics.coverage(), 1.0, "delivered {}", metrics.delivered_count());
+        assert_eq!(
+            metrics.coverage(),
+            1.0,
+            "delivered {}",
+            metrics.delivered_count()
+        );
     }
 
     #[test]
@@ -471,11 +491,7 @@ mod tests {
         let (sim, metrics) = run(60, 4, params, 5);
         // Exactly one token transfer: origin → first virtual source.
         assert_eq!(metrics.messages_of_kind("ad-token"), 1);
-        let holders = sim
-            .nodes()
-            .iter()
-            .filter(|n| n.holds_token())
-            .count();
+        let holders = sim.nodes().iter().filter(|n| n.holds_token()).count();
         assert_eq!(holders, 1);
     }
 

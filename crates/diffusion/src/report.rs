@@ -157,9 +157,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let graph = topology::random_regular(60, 4, &mut rng).unwrap();
         let params = AdParams::default();
-        let a = run_adaptive_diffusion(graph.clone(), NodeId::new(1), params, SimConfig { seed: 9, ..SimConfig::default() });
-        let b = run_adaptive_diffusion(graph, NodeId::new(1), params, SimConfig { seed: 9, ..SimConfig::default() });
+        let a = run_adaptive_diffusion(
+            graph.clone(),
+            NodeId::new(1),
+            params,
+            SimConfig {
+                seed: 9,
+                ..SimConfig::default()
+            },
+        );
+        let b = run_adaptive_diffusion(
+            graph,
+            NodeId::new(1),
+            params,
+            SimConfig {
+                seed: 9,
+                ..SimConfig::default()
+            },
+        );
         assert_eq!(a.metrics.messages_sent, b.metrics.messages_sent);
-        assert_eq!(a.messages_until_full_coverage, b.messages_until_full_coverage);
+        assert_eq!(
+            a.messages_until_full_coverage,
+            b.messages_until_full_coverage
+        );
     }
 }

@@ -182,7 +182,12 @@ impl DandelionNode {
     }
 
     /// Decides whether to continue the stem or fluff, and acts accordingly.
-    fn relay_stem(&mut self, tx_id: u64, remaining_hops: u32, ctx: &mut Context<'_, DandelionMessage>) {
+    fn relay_stem(
+        &mut self,
+        tx_id: u64,
+        remaining_hops: u32,
+        ctx: &mut Context<'_, DandelionMessage>,
+    ) {
         let continue_stem =
             remaining_hops > 0 && ctx.rng().gen_bool(self.params.stem_continue_probability);
         if continue_stem {
@@ -211,7 +216,10 @@ impl ProtocolNode for DandelionNode {
         ctx: &mut Context<'_, DandelionMessage>,
     ) {
         match message {
-            DandelionMessage::Stem { tx_id, remaining_hops } => {
+            DandelionMessage::Stem {
+                tx_id,
+                remaining_hops,
+            } => {
                 if self.seen {
                     // A stem relay that loops back onto a node that has
                     // already seen the transaction fluffs immediately, as in
@@ -344,7 +352,10 @@ mod tests {
             NodeId::new(17),
             1,
             DandelionParams::default(),
-            SimConfig { seed: 4, ..SimConfig::default() },
+            SimConfig {
+                seed: 4,
+                ..SimConfig::default()
+            },
         );
         assert_eq!(report.metrics.coverage(), 1.0);
         assert!(report.fluff_node.is_some());
@@ -362,7 +373,10 @@ mod tests {
                 stem_continue_probability: 1.0,
                 max_stem_hops: 10,
             },
-            SimConfig { seed: 5, ..SimConfig::default() },
+            SimConfig {
+                seed: 5,
+                ..SimConfig::default()
+            },
         );
         // With continue probability 1.0 the stem runs its full hop budget
         // (unless it loops back onto itself, which 10 hops over 200 nodes
@@ -383,7 +397,10 @@ mod tests {
                 stem_continue_probability: 0.0,
                 max_stem_hops: 10,
             },
-            SimConfig { seed: 6, ..SimConfig::default() },
+            SimConfig {
+                seed: 6,
+                ..SimConfig::default()
+            },
         );
         assert_eq!(report.stem_messages, 0);
         assert_eq!(report.fluff_node, Some(NodeId::new(9)));
@@ -401,7 +418,10 @@ mod tests {
                 NodeId::new(3),
                 seed,
                 DandelionParams::default(),
-                SimConfig { seed, ..SimConfig::default() },
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
             );
             if report.fluff_node != Some(NodeId::new(3)) {
                 not_origin += 1;
@@ -433,10 +453,17 @@ mod tests {
     #[test]
     fn message_kinds_are_labelled() {
         assert_eq!(
-            DandelionMessage::Stem { tx_id: 1, remaining_hops: 2 }.kind(),
+            DandelionMessage::Stem {
+                tx_id: 1,
+                remaining_hops: 2
+            }
+            .kind(),
             "dandelion-stem"
         );
-        assert_eq!(DandelionMessage::Fluff { tx_id: 1 }.kind(), "dandelion-fluff");
+        assert_eq!(
+            DandelionMessage::Fluff { tx_id: 1 }.kind(),
+            "dandelion-fluff"
+        );
         assert_eq!(DandelionMessage::Fluff { tx_id: 1 }.size_bytes(), 256);
     }
 

@@ -73,7 +73,12 @@ impl FloodNode {
 impl ProtocolNode for FloodNode {
     type Message = FloodMessage;
 
-    fn on_message(&mut self, from: NodeId, message: FloodMessage, ctx: &mut Context<'_, FloodMessage>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: FloodMessage,
+        ctx: &mut Context<'_, FloodMessage>,
+    ) {
         if self.seen.is_some() {
             // Prune: we have already relayed this transaction.
             return;
@@ -127,7 +132,12 @@ mod tests {
         assert_eq!(metrics.coverage(), 1.0);
         let diff = metrics.messages_sent.abs_diff(expected);
         // Concurrent cross-edges can add a handful of duplicate sends.
-        assert!(diff <= expected / 10, "sent {} expected ≈{}", metrics.messages_sent, expected);
+        assert!(
+            diff <= expected / 10,
+            "sent {} expected ≈{}",
+            metrics.messages_sent,
+            expected
+        );
     }
 
     #[test]

@@ -62,14 +62,25 @@ mod tests {
         let graph = topology::random_regular(300, 8, &mut rng).unwrap();
         let line = StemLine::random(300, &mut rng);
 
-        let flood = run_flood(graph.clone(), NodeId::new(0), 1, SimConfig { seed: 1, ..SimConfig::default() });
+        let flood = run_flood(
+            graph.clone(),
+            NodeId::new(0),
+            1,
+            SimConfig {
+                seed: 1,
+                ..SimConfig::default()
+            },
+        );
         let dandelion = run_dandelion(
             graph,
             &line,
             NodeId::new(0),
             1,
             DandelionParams::default(),
-            SimConfig { seed: 1, ..SimConfig::default() },
+            SimConfig {
+                seed: 1,
+                ..SimConfig::default()
+            },
         );
 
         assert_eq!(flood.coverage(), 1.0);

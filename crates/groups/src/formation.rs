@@ -42,7 +42,10 @@ impl fmt::Display for FormationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FormationError::NetworkTooSmall { nodes, k } => {
-                write!(f, "cannot form groups of at least {k} nodes from only {nodes} nodes")
+                write!(
+                    f,
+                    "cannot form groups of at least {k} nodes from only {nodes} nodes"
+                )
             }
             FormationError::Group(inner) => write!(f, "{inner}"),
         }
@@ -71,7 +74,9 @@ pub fn form_groups<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<Group>, FormationError> {
     if k < 2 {
-        return Err(FormationError::Group(GroupError::InvalidPrivacyParameter { k }));
+        return Err(FormationError::Group(GroupError::InvalidPrivacyParameter {
+            k,
+        }));
     }
     if nodes.len() < k {
         return Err(FormationError::NetworkTooSmall {
@@ -164,7 +169,9 @@ pub fn assign_with_trust<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<Group>, FormationError> {
     if k < 2 {
-        return Err(FormationError::Group(GroupError::InvalidPrivacyParameter { k }));
+        return Err(FormationError::Group(GroupError::InvalidPrivacyParameter {
+            k,
+        }));
     }
     if nodes.len() < k {
         return Err(FormationError::NetworkTooSmall {
@@ -356,7 +363,7 @@ mod tests {
             assert_eq!(total, n);
             for group in &groups {
                 assert!(group.len() >= k, "{n}/{k}: group of {}", group.len());
-                assert!(group.len() <= 2 * k - 1, "{n}/{k}: group of {}", group.len());
+                assert!(group.len() < 2 * k, "{n}/{k}: group of {}", group.len());
                 assert!(group.provides_privacy());
             }
         }
@@ -456,18 +463,17 @@ mod tests {
         let group = Group::new(4, all_nodes(5)).unwrap();
         let mut managed = ManagedGroup::new(group, NodeId::new(0)).unwrap();
         // Three acknowledgements out of five: below the quorum of four.
-        let decision = managed
-            .propose_join(NodeId::new(7), &all_nodes(3))
-            .unwrap();
+        let decision = managed.propose_join(NodeId::new(7), &all_nodes(3)).unwrap();
         assert_eq!(
             decision,
-            MembershipDecision::Rejected { acknowledgements: 3, required: 4 }
+            MembershipDecision::Rejected {
+                acknowledgements: 3,
+                required: 4
+            }
         );
         assert!(!managed.group().contains(NodeId::new(7)));
         // Four acknowledgements: accepted.
-        let decision = managed
-            .propose_join(NodeId::new(7), &all_nodes(4))
-            .unwrap();
+        let decision = managed.propose_join(NodeId::new(7), &all_nodes(4)).unwrap();
         assert_eq!(decision, MembershipDecision::Accepted);
         assert!(managed.group().contains(NodeId::new(7)));
     }
@@ -485,7 +491,10 @@ mod tests {
         let decision = managed.propose_join(NodeId::new(9), &votes).unwrap();
         assert_eq!(
             decision,
-            MembershipDecision::Rejected { acknowledgements: 2, required: 4 }
+            MembershipDecision::Rejected {
+                acknowledgements: 2,
+                required: 4
+            }
         );
     }
 
@@ -514,9 +523,11 @@ mod tests {
         assert!(FormationError::NetworkTooSmall { nodes: 1, k: 3 }
             .to_string()
             .contains("3"));
-        assert!(FormationError::from(GroupError::InvalidPrivacyParameter { k: 1 })
-            .to_string()
-            .contains("k = 1"));
+        assert!(
+            FormationError::from(GroupError::InvalidPrivacyParameter { k: 1 })
+                .to_string()
+                .contains("k = 1")
+        );
     }
 
     proptest! {
@@ -538,7 +549,7 @@ mod tests {
             prop_assert_eq!(total, n);
             for group in groups {
                 prop_assert!(group.len() >= k);
-                prop_assert!(group.len() <= 2 * k - 1);
+                prop_assert!(group.len() < 2 * k);
             }
         }
     }

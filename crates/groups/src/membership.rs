@@ -56,10 +56,16 @@ impl fmt::Display for GroupError {
             GroupError::AlreadyMember { node } => write!(f, "{node} is already a group member"),
             GroupError::NotAMember { node } => write!(f, "{node} is not a group member"),
             GroupError::GroupFull { size, max } => {
-                write!(f, "group of size {size} is full (max {max}); split before joining")
+                write!(
+                    f,
+                    "group of size {size} is full (max {max}); split before joining"
+                )
             }
             GroupError::TooSmallToSplit { size, required } => {
-                write!(f, "group of size {size} cannot split (needs at least {required})")
+                write!(
+                    f,
+                    "group of size {size} cannot split (needs at least {required})"
+                )
             }
         }
     }
@@ -201,8 +207,14 @@ impl Group {
             }
         }
         Ok((
-            Group { k: self.k, members: first },
-            Group { k: self.k, members: second },
+            Group {
+                k: self.k,
+                members: first,
+            },
+            Group {
+                k: self.k,
+                members: second,
+            },
         ))
     }
 
@@ -284,7 +296,10 @@ mod tests {
         let group = Group::new(3, nodes(0..5)).unwrap();
         assert!(matches!(
             group.split(),
-            Err(GroupError::TooSmallToSplit { size: 5, required: 6 })
+            Err(GroupError::TooSmallToSplit {
+                size: 5,
+                required: 6
+            })
         ));
     }
 
@@ -319,10 +334,17 @@ mod tests {
     fn error_display() {
         for error in [
             GroupError::InvalidPrivacyParameter { k: 0 },
-            GroupError::AlreadyMember { node: NodeId::new(1) },
-            GroupError::NotAMember { node: NodeId::new(1) },
+            GroupError::AlreadyMember {
+                node: NodeId::new(1),
+            },
+            GroupError::NotAMember {
+                node: NodeId::new(1),
+            },
             GroupError::GroupFull { size: 5, max: 5 },
-            GroupError::TooSmallToSplit { size: 3, required: 6 },
+            GroupError::TooSmallToSplit {
+                size: 3,
+                required: 6,
+            },
         ] {
             assert!(!error.to_string().is_empty());
         }

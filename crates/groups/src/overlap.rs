@@ -234,7 +234,11 @@ mod tests {
         let groups = paper_example();
         let posterior = groups.origin_posterior(0, GroupSelectionPolicy::UniformPerNode);
         let p: BTreeMap<NodeId, f64> = posterior.into_iter().collect();
-        assert!((p[&n(0)] - 0.5).abs() < 1e-12, "A should be 1/2, got {}", p[&n(0)]);
+        assert!(
+            (p[&n(0)] - 0.5).abs() < 1e-12,
+            "A should be 1/2, got {}",
+            p[&n(0)]
+        );
         assert!((p[&n(1)] - 0.25).abs() < 1e-12);
         assert!((p[&n(2)] - 0.25).abs() < 1e-12);
         assert!(
@@ -261,7 +265,10 @@ mod tests {
         let mut groups = OverlappingGroups::new();
         groups.insert_group(0, [n(0), n(1), n(2)]);
         groups.insert_group(1, [n(3), n(4), n(5)]);
-        for policy in [GroupSelectionPolicy::UniformPerNode, GroupSelectionPolicy::Smoothed] {
+        for policy in [
+            GroupSelectionPolicy::UniformPerNode,
+            GroupSelectionPolicy::Smoothed,
+        ] {
             assert!((groups.skew(0, policy) - 1.0).abs() < 1e-12, "{policy}");
         }
     }
@@ -272,14 +279,20 @@ mod tests {
         groups.insert_group(0, (0..5).map(n));
         groups.insert_group(1, (3..9).map(n));
         groups.insert_group(2, (4..12).map(n));
-        for policy in [GroupSelectionPolicy::UniformPerNode, GroupSelectionPolicy::Smoothed] {
+        for policy in [
+            GroupSelectionPolicy::UniformPerNode,
+            GroupSelectionPolicy::Smoothed,
+        ] {
             for group_id in 0..3 {
                 let total: f64 = groups
                     .origin_posterior(group_id, policy)
                     .iter()
                     .map(|(_, p)| p)
                     .sum();
-                assert!((total - 1.0).abs() < 1e-9, "{policy} group {group_id}: {total}");
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "{policy} group {group_id}: {total}"
+                );
             }
         }
     }
@@ -301,10 +314,17 @@ mod tests {
     fn empty_or_unknown_groups_are_harmless() {
         let mut groups = OverlappingGroups::new();
         groups.insert_group(0, []);
-        assert!(groups.origin_posterior(0, GroupSelectionPolicy::Smoothed).is_empty());
-        assert!(groups.origin_posterior(42, GroupSelectionPolicy::Smoothed).is_empty());
+        assert!(groups
+            .origin_posterior(0, GroupSelectionPolicy::Smoothed)
+            .is_empty());
+        assert!(groups
+            .origin_posterior(42, GroupSelectionPolicy::Smoothed)
+            .is_empty());
         assert_eq!(groups.skew(0, GroupSelectionPolicy::Smoothed), 1.0);
-        assert_eq!(groups.worst_case_origin_probability(42, GroupSelectionPolicy::Smoothed), 0.0);
+        assert_eq!(
+            groups.worst_case_origin_probability(42, GroupSelectionPolicy::Smoothed),
+            0.0
+        );
     }
 
     #[test]
@@ -316,8 +336,14 @@ mod tests {
 
     #[test]
     fn policy_display() {
-        assert_eq!(GroupSelectionPolicy::UniformPerNode.to_string(), "uniform-per-node");
+        assert_eq!(
+            GroupSelectionPolicy::UniformPerNode.to_string(),
+            "uniform-per-node"
+        );
         assert_eq!(GroupSelectionPolicy::Smoothed.to_string(), "smoothed");
-        assert_eq!(GroupSelectionPolicy::default(), GroupSelectionPolicy::UniformPerNode);
+        assert_eq!(
+            GroupSelectionPolicy::default(),
+            GroupSelectionPolicy::UniformPerNode
+        );
     }
 }

@@ -144,7 +144,9 @@ mod tests {
     #[test]
     fn schedule_answers_is_down_per_node_and_time() {
         let mut schedule = ChurnSchedule::none();
-        schedule.add(NodeId::new(2), 100, 200).add(NodeId::new(2), 300, 400);
+        schedule
+            .add(NodeId::new(2), 100, 200)
+            .add(NodeId::new(2), 300, 400);
         schedule.add(NodeId::new(5), 0, 50);
         assert!(schedule.is_down(NodeId::new(2), 150));
         assert!(!schedule.is_down(NodeId::new(2), 250));
@@ -152,7 +154,10 @@ mod tests {
         assert!(schedule.is_down(NodeId::new(5), 0));
         assert!(!schedule.is_down(NodeId::new(3), 150));
         assert_eq!(schedule.len(), 3);
-        assert_eq!(schedule.affected_nodes(), vec![NodeId::new(2), NodeId::new(5)]);
+        assert_eq!(
+            schedule.affected_nodes(),
+            vec![NodeId::new(2), NodeId::new(5)]
+        );
     }
 
     #[test]
@@ -181,8 +186,16 @@ mod tests {
     #[test]
     fn from_outages_roundtrips() {
         let outages = vec![
-            NodeOutage { node: NodeId::new(1), from: 0, until: 10 },
-            NodeOutage { node: NodeId::new(2), from: 5, until: 15 },
+            NodeOutage {
+                node: NodeId::new(1),
+                from: 0,
+                until: 10,
+            },
+            NodeOutage {
+                node: NodeId::new(2),
+                from: 5,
+                until: 15,
+            },
         ];
         let schedule = ChurnSchedule::from_outages(outages.clone());
         assert_eq!(schedule.outages(), outages.as_slice());

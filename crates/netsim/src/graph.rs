@@ -113,14 +113,17 @@ impl Graph {
     /// Iterator over all undirected edges, each reported once with
     /// `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(a, neighbors)| {
-            let a = NodeId::new(a);
-            neighbors
-                .iter()
-                .copied()
-                .filter(move |&b| a < b)
-                .map(move |b| (a, b))
-        })
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(a, neighbors)| {
+                let a = NodeId::new(a);
+                neighbors
+                    .iter()
+                    .copied()
+                    .filter(move |&b| a < b)
+                    .map(move |b| (a, b))
+            })
     }
 
     /// Breadth-first distances (in hops) from `source`.
@@ -271,8 +274,14 @@ mod tests {
     fn add_and_remove_edges() {
         let mut g = Graph::new(3);
         assert!(g.add_edge(NodeId::new(0), NodeId::new(1)));
-        assert!(!g.add_edge(NodeId::new(0), NodeId::new(1)), "duplicate edge");
-        assert!(!g.add_edge(NodeId::new(1), NodeId::new(0)), "reverse duplicate");
+        assert!(
+            !g.add_edge(NodeId::new(0), NodeId::new(1)),
+            "duplicate edge"
+        );
+        assert!(
+            !g.add_edge(NodeId::new(1), NodeId::new(0)),
+            "reverse duplicate"
+        );
         assert!(!g.add_edge(NodeId::new(1), NodeId::new(1)), "self loop");
         assert_eq!(g.edge_count(), 1);
         assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
@@ -324,7 +333,10 @@ mod tests {
         g.add_edge(NodeId::new(0), NodeId::new(1));
         g.add_edge(NodeId::new(2), NodeId::new(3));
         assert!(!g.is_connected());
-        assert_eq!(g.component_of(NodeId::new(0)), vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(
+            g.component_of(NodeId::new(0)),
+            vec![NodeId::new(0), NodeId::new(1)]
+        );
         g.add_edge(NodeId::new(1), NodeId::new(2));
         assert!(g.is_connected());
     }
@@ -363,7 +375,10 @@ mod tests {
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(
             edges,
-            vec![(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))]
+            vec![
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(2))
+            ]
         );
     }
 }

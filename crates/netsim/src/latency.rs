@@ -111,7 +111,10 @@ mod tests {
         // at the same instant it was triggered), so the model enforces ≥ 1.
         let mut rng = StdRng::seed_from_u64(1);
         let (a, b) = nodes();
-        assert_eq!(LatencyModel::Constant { delay: 0 }.sample(a, b, &mut rng), 1);
+        assert_eq!(
+            LatencyModel::Constant { delay: 0 }.sample(a, b, &mut rng),
+            1
+        );
     }
 
     #[test]
@@ -138,7 +141,10 @@ mod tests {
     fn exponential_model_respects_floor_and_mean() {
         let mut rng = StdRng::seed_from_u64(4);
         let (a, b) = nodes();
-        let model = LatencyModel::Exponential { floor: 1000, mean: 500 };
+        let model = LatencyModel::Exponential {
+            floor: 1000,
+            mean: 500,
+        };
         let samples: Vec<SimTime> = (0..20_000).map(|_| model.sample(a, b, &mut rng)).collect();
         assert!(samples.iter().all(|&s| s >= 1000));
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
@@ -174,7 +180,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(LatencyModel::Constant { delay: 5 }.to_string().contains('5'));
+        assert!(LatencyModel::Constant { delay: 5 }
+            .to_string()
+            .contains('5'));
         assert!(LatencyModel::default().to_string().contains("exponential"));
     }
 }

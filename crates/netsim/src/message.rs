@@ -21,7 +21,7 @@ pub trait Payload: Clone + std::fmt::Debug + Send + 'static {
     /// accounting. Defaults to the in-memory size, which is adequate for
     /// relative comparisons between protocols.
     fn size_bytes(&self) -> usize {
-        std::mem::size_of_val(self)
+        size_of_val(self)
     }
 }
 

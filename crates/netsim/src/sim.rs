@@ -220,8 +220,17 @@ pub trait ProtocolNode: Sized {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, message: M, bytes: usize, kind: &'static str },
-    Timer { node: NodeId, tag: u64 },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: M,
+        bytes: usize,
+        kind: &'static str,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -379,7 +388,13 @@ impl<N: ProtocolNode> Simulator<N> {
                         self.push_event(Event {
                             at,
                             seq,
-                            kind: EventKind::Deliver { from: node, to, message, bytes, kind },
+                            kind: EventKind::Deliver {
+                                from: node,
+                                to,
+                                message,
+                                bytes,
+                                kind,
+                            },
                         });
                     }
                 }
@@ -428,7 +443,13 @@ impl<N: ProtocolNode> Simulator<N> {
         self.now = event.at;
         self.metrics.events_processed += 1;
         match event.kind {
-            EventKind::Deliver { from, to, message, bytes, kind } => {
+            EventKind::Deliver {
+                from,
+                to,
+                message,
+                bytes,
+                kind,
+            } => {
                 if self.config.churn.is_down(to, self.now) {
                     self.metrics.record_counter("dropped-offline", 1);
                     return true;
@@ -560,7 +581,11 @@ mod tests {
             (m.messages_sent, m.delivered_at.clone(), m.finished_at)
         };
         assert_eq!(run(7), run(7));
-        assert_ne!(run(7).2, run(8).2, "different seeds should differ somewhere");
+        assert_ne!(
+            run(7).2,
+            run(8).2,
+            "different seeds should differ somewhere"
+        );
     }
 
     #[test]
@@ -571,7 +596,10 @@ mod tests {
         assert_eq!(metrics.trace.len() as u64, metrics.messages_sent);
         // Trace times are non-decreasing because it is filled in delivery order.
         assert!(metrics.trace.windows(2).all(|w| w[0].at <= w[1].at));
-        assert!(metrics.trace.iter().all(|t| t.kind == "flood" && t.bytes == 250));
+        assert!(metrics
+            .trace
+            .iter()
+            .all(|t| t.kind == "flood" && t.bytes == 250));
     }
 
     #[test]
@@ -639,7 +667,10 @@ mod tests {
         );
         start_flood(&mut sim, NodeId::new(0));
         let mid = sim.run_until(450).delivered_count();
-        assert!(mid < 10, "only part of the line should be covered, got {mid}");
+        assert!(
+            mid < 10,
+            "only part of the line should be covered, got {mid}"
+        );
         let full = sim.run().delivered_count();
         assert_eq!(full, 10);
     }
@@ -665,7 +696,11 @@ mod tests {
             }
         }
         let graph = Graph::new(1);
-        let mut sim = Simulator::new(graph, vec![TimerNode { fired: vec![] }], SimConfig::default());
+        let mut sim = Simulator::new(
+            graph,
+            vec![TimerNode { fired: vec![] }],
+            SimConfig::default(),
+        );
         let metrics = sim.run();
         assert_eq!(metrics.counter("last-timer"), 1);
         assert_eq!(sim.node(NodeId::new(0)).fired, vec![1, 2, 3]);
@@ -682,7 +717,11 @@ mod tests {
             }
             fn on_message(&mut self, _: NodeId, _: TestPayload, _: &mut Context<'_, TestPayload>) {}
         }
-        let mut sim = Simulator::new(Graph::new(3), vec![CounterNode, CounterNode, CounterNode], SimConfig::default());
+        let mut sim = Simulator::new(
+            Graph::new(3),
+            vec![CounterNode, CounterNode, CounterNode],
+            SimConfig::default(),
+        );
         let metrics = sim.run();
         assert_eq!(metrics.counter("init"), 3);
         assert_eq!(metrics.counter("weighted"), 15);
@@ -691,7 +730,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "one protocol state machine per graph node")]
     fn mismatched_node_count_panics() {
-        let _ = Simulator::new(Graph::new(3), vec![FloodNode::default()], SimConfig::default());
+        let _ = Simulator::new(
+            Graph::new(3),
+            vec![FloodNode::default()],
+            SimConfig::default(),
+        );
     }
 
     #[test]

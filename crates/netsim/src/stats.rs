@@ -53,7 +53,10 @@ pub fn summarize(values: &[f64]) -> Summary {
         0.0
     };
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("statistics input must not contain NaN")
+    });
     Summary {
         count,
         mean,
@@ -71,7 +74,10 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("statistics input must not contain NaN")
+    });
     percentile_sorted(&sorted, p)
 }
 

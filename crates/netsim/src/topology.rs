@@ -68,8 +68,13 @@ impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Topology::RandomRegular { degree } => write!(f, "random-regular(d={degree})"),
-            Topology::ErdosRenyi { edge_probability } => write!(f, "erdos-renyi(p={edge_probability})"),
-            Topology::WattsStrogatz { k, rewire_probability } => {
+            Topology::ErdosRenyi { edge_probability } => {
+                write!(f, "erdos-renyi(p={edge_probability})")
+            }
+            Topology::WattsStrogatz {
+                k,
+                rewire_probability,
+            } => {
                 write!(f, "watts-strogatz(k={k},p={rewire_probability})")
             }
             Topology::BarabasiAlbert { attachment } => write!(f, "barabasi-albert(m={attachment})"),
@@ -107,7 +112,10 @@ impl fmt::Display for GenerateTopologyError {
                 write!(f, "invalid topology parameters: {reason}")
             }
             GenerateTopologyError::GenerationFailed { attempts } => {
-                write!(f, "failed to generate a connected topology after {attempts} attempts")
+                write!(
+                    f,
+                    "failed to generate a connected topology after {attempts} attempts"
+                )
             }
         }
     }
@@ -132,9 +140,10 @@ impl Topology {
         match *self {
             Topology::RandomRegular { degree } => random_regular(n, degree, rng),
             Topology::ErdosRenyi { edge_probability } => erdos_renyi(n, edge_probability, rng),
-            Topology::WattsStrogatz { k, rewire_probability } => {
-                watts_strogatz(n, k, rewire_probability, rng)
-            }
+            Topology::WattsStrogatz {
+                k,
+                rewire_probability,
+            } => watts_strogatz(n, k, rewire_probability, rng),
             Topology::BarabasiAlbert { attachment } => barabasi_albert(n, attachment, rng),
             Topology::Ring => ring(n),
             Topology::Line => line(n),
@@ -258,7 +267,9 @@ pub fn random_regular<R: Rng + ?Sized>(
         return Err(invalid("regular degree 0 cannot be connected"));
     }
     if degree >= n {
-        return Err(invalid(format!("degree {degree} must be smaller than n = {n}")));
+        return Err(invalid(format!(
+            "degree {degree} must be smaller than n = {n}"
+        )));
     }
     if (n * degree) % 2 != 0 {
         return Err(invalid(format!("n * degree = {} must be even", n * degree)));
@@ -273,27 +284,32 @@ pub fn random_regular<R: Rng + ?Sized>(
         // perfect matching over stubs yields an edge multiset which is then
         // repaired into a simple graph by double edge swaps (self-loops and
         // parallel edges are swapped against randomly chosen good edges).
-        let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat(i).take(degree)).collect();
+        let mut stubs: Vec<usize> = (0..n)
+            .flat_map(|i| std::iter::repeat_n(i, degree))
+            .collect();
         stubs.shuffle(rng);
-        let mut edges: Vec<(usize, usize)> =
-            stubs.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
+        let mut edges: Vec<(usize, usize)> = stubs
+            .chunks_exact(2)
+            .map(|pair| (pair[0], pair[1]))
+            .collect();
 
         let mut multiplicity = std::collections::HashMap::new();
         let key = |a: usize, b: usize| if a <= b { (a, b) } else { (b, a) };
         for &(a, b) in &edges {
             *multiplicity.entry(key(a, b)).or_insert(0usize) += 1;
         }
-        let is_bad = |a: usize, b: usize, multiplicity: &std::collections::HashMap<(usize, usize), usize>| {
-            a == b || multiplicity.get(&key(a, b)).copied().unwrap_or(0) > 1
-        };
+        let is_bad =
+            |a: usize,
+             b: usize,
+             multiplicity: &std::collections::HashMap<(usize, usize), usize>| {
+                a == b || multiplicity.get(&key(a, b)).copied().unwrap_or(0) > 1
+            };
 
         // Repair loop: repeatedly swap a bad edge against a random edge.
         let mut repaired = true;
         let mut budget = 200 * edges.len().max(1);
         loop {
-            let bad_index = edges
-                .iter()
-                .position(|&(a, b)| is_bad(a, b, &multiplicity));
+            let bad_index = edges.iter().position(|&(a, b)| is_bad(a, b, &multiplicity));
             let Some(i) = bad_index else { break };
             if budget == 0 {
                 repaired = false;
@@ -354,7 +370,9 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
 ) -> Result<Graph, GenerateTopologyError> {
     require_nodes(n)?;
     if k % 2 != 0 {
-        return Err(invalid(format!("lattice neighbour count k = {k} must be even")));
+        return Err(invalid(format!(
+            "lattice neighbour count k = {k} must be even"
+        )));
     }
     if k >= n {
         return Err(invalid(format!("k = {k} must be smaller than n = {n}")));
@@ -430,7 +448,9 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
         endpoints.push(b.index());
     }
     for new_node in seed..n {
-        let mut targets = std::collections::HashSet::new();
+        // BTreeSet: edge insertion order must be deterministic for a given
+        // RNG seed (HashSet iteration order is randomized per process).
+        let mut targets = std::collections::BTreeSet::new();
         let mut guard = 0usize;
         while targets.len() < attachment && guard < 10_000 {
             guard += 1;
@@ -499,7 +519,10 @@ mod tests {
         assert_eq!(t.edge_count(), 6);
         assert!(t.is_connected());
         assert_eq!(t.degree(NodeId::new(0)), 2);
-        assert_eq!(t.neighbors(NodeId::new(1)), &[NodeId::new(0), NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(
+            t.neighbors(NodeId::new(1)),
+            &[NodeId::new(0), NodeId::new(3), NodeId::new(4)]
+        );
     }
 
     #[test]
@@ -524,7 +547,11 @@ mod tests {
             let g = random_regular(n, d, &mut r).unwrap();
             assert!(g.is_connected());
             for node in g.nodes() {
-                assert_eq!(g.degree(node), d, "node {node} in {n}-node {d}-regular graph");
+                assert_eq!(
+                    g.degree(node),
+                    d,
+                    "node {node} in {n}-node {d}-regular graph"
+                );
             }
         }
     }
@@ -544,7 +571,11 @@ mod tests {
         assert!(g.is_connected());
         assert_eq!(g.node_count(), 80);
         // Expected edges ≈ p * n(n-1)/2 = 316; allow a generous band.
-        assert!(g.edge_count() > 150 && g.edge_count() < 550, "{}", g.edge_count());
+        assert!(
+            g.edge_count() > 150 && g.edge_count() < 550,
+            "{}",
+            g.edge_count()
+        );
     }
 
     #[test]
@@ -558,7 +589,10 @@ mod tests {
     fn erdos_renyi_sparse_fails_gracefully() {
         let mut r = rng(4);
         let result = erdos_renyi(100, 0.0, &mut r);
-        assert!(matches!(result, Err(GenerateTopologyError::GenerationFailed { .. })));
+        assert!(matches!(
+            result,
+            Err(GenerateTopologyError::GenerationFailed { .. })
+        ));
     }
 
     #[test]
@@ -601,8 +635,13 @@ mod tests {
         let mut r = rng(9);
         let families = [
             Topology::RandomRegular { degree: 4 },
-            Topology::ErdosRenyi { edge_probability: 0.15 },
-            Topology::WattsStrogatz { k: 4, rewire_probability: 0.2 },
+            Topology::ErdosRenyi {
+                edge_probability: 0.15,
+            },
+            Topology::WattsStrogatz {
+                k: 4,
+                rewire_probability: 0.2,
+            },
             Topology::BarabasiAlbert { attachment: 2 },
             Topology::Ring,
             Topology::Line,
@@ -611,7 +650,9 @@ mod tests {
             Topology::Tree { arity: 3 },
         ];
         for family in families {
-            let g = family.generate(40, &mut r).unwrap_or_else(|e| panic!("{family}: {e}"));
+            let g = family
+                .generate(40, &mut r)
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
             assert_eq!(g.node_count(), 40);
             assert!(g.is_connected(), "{family} must be connected");
         }
@@ -619,8 +660,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_under_a_fixed_seed() {
-        let g1 = Topology::RandomRegular { degree: 6 }.generate(60, &mut rng(42)).unwrap();
-        let g2 = Topology::RandomRegular { degree: 6 }.generate(60, &mut rng(42)).unwrap();
+        let g1 = Topology::RandomRegular { degree: 6 }
+            .generate(60, &mut rng(42))
+            .unwrap();
+        let g2 = Topology::RandomRegular { degree: 6 }
+            .generate(60, &mut rng(42))
+            .unwrap();
         assert_eq!(g1, g2);
     }
 
@@ -631,9 +676,12 @@ mod tests {
             Topology::RandomRegular { degree: 8 }.to_string(),
             "random-regular(d=8)"
         );
-        assert!(Topology::WattsStrogatz { k: 4, rewire_probability: 0.1 }
-            .to_string()
-            .contains("watts-strogatz"));
+        assert!(Topology::WattsStrogatz {
+            k: 4,
+            rewire_probability: 0.1
+        }
+        .to_string()
+        .contains("watts-strogatz"));
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait for primitives.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: core::fmt::Debug + Sized {
+    /// Draws a uniformly distributed value of the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// Returns the canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Full unit interval rather than the full bit domain: the workspace
+        // only uses f64 inputs as probabilities.
+        rng.gen_range(0.0..1.0)
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}

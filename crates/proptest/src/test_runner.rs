@@ -1,0 +1,89 @@
+//! Runner configuration and the per-case error type.
+
+/// How a property test runs. Only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim trades a little coverage for
+        // test-suite latency. Properties needing more pass an explicit
+        // `proptest_config`.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property's precondition (`prop_assume!`) did not hold; the case
+    /// is discarded without counting against the property.
+    Reject,
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// A stable per-test seed derived from the test's name (FNV-1a), so every
+/// property explores a deterministic but distinct input stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seed_for_is_stable_and_distinct() {
+        assert_eq!(super::seed_for("a"), super::seed_for("a"));
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires ranges, `any`, vec and tuple strategies together.
+        #[test]
+        fn macro_generates_within_bounds(
+            small in 2usize..16,
+            raw in any::<u64>(),
+            bytes in crate::collection::vec(any::<u8>(), 0..32),
+            pair in (any::<bool>(), 1usize..5),
+        ) {
+            prop_assert!((2..16).contains(&small));
+            let _ = raw;
+            prop_assert!(bytes.len() < 32);
+            prop_assert!((1..5).contains(&pair.1));
+        }
+
+        /// `prop_assume!` discards without failing.
+        #[test]
+        fn assume_rejects_cases(value in 0usize..10) {
+            prop_assume!(value % 2 == 0);
+            prop_assert_eq!(value % 2, 0);
+            prop_assert_ne!(value % 2, 1);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! # rand — offline shim
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate reimplements, from scratch, exactly the subset of the
+//! [`rand` 0.8](https://docs.rs/rand/0.8) API that the workspace uses:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range`, `gen_bool` and `fill`,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 (note: *not* bit-compatible with upstream `StdRng`, which is
+//!   ChaCha12; everything in this workspace only relies on determinism for a
+//!   fixed seed, never on the exact stream),
+//! * [`seq::SliceRandom`] with `shuffle` and `choose`.
+//!
+//! The crate is intentionally tiny and has no unsafe code and no
+//! dependencies. If the workspace ever gains network access, deleting this
+//! crate and pointing the workspace dependency at crates.io is a drop-in
+//! swap for the APIs used here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// The core of a random number generator: a source of uniformly distributed
+/// raw bits.
+pub trait RngCore {
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose output stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Supports half-open (`lo..hi`) and inclusive (`lo..=hi`) ranges over
+    /// the primitive integer and float types. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 explicit mantissa bits of precision, exactly as rand's `Standard`.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Marker for types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from the half-open interval `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Samples uniformly from the closed interval `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (uniform_u128(rng, span)) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (uniform_u128(rng, span)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Samples uniformly from `[0, span)` (`span >= 1`) without meaningful bias.
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span >= 1);
+    if span == 1 {
+        return 0;
+    }
+    // Rejection sampling over the smallest covering power of two; expected
+    // < 2 draws. All workspace spans are far below 2^64 so one u64 suffices,
+    // but stay correct for the full u128 domain anyway.
+    let bits = 128 - (span - 1).leading_zeros();
+    loop {
+        let raw = if bits <= 64 {
+            rng.next_u64() as u128
+        } else {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        };
+        let candidate = raw & ((1u128 << bits) - 1).max(1);
+        if candidate < span {
+            return candidate;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let v = lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo);
+                // Floating-point rounding can land exactly on `hi`; nudge back
+                // inside the half-open interval.
+                if v < hi { v } else { hi.next_down() }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets of 0..10 reached");
+
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+        let v: i64 = rng.gen_range(-5..5);
+        assert!((-5..5).contains(&v));
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000u32;
+        let mut counts = [0u32; 8];
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        let expect = n / 8;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "bucket count {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "hits={hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_nonconstant() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut buf_a = [0u8; 37];
+        let mut buf_b = [0u8; 37];
+        a.fill(&mut buf_a);
+        b.fill(buf_b.as_mut_slice());
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != buf_a[0]));
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_selects() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        let original = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, original, "100 elements should not shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, original, "shuffle must be a permutation");
+
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

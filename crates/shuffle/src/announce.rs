@@ -92,7 +92,10 @@ impl std::fmt::Display for SessionError {
                 "received {received} submissions for a session of {expected} members"
             ),
             SessionError::PayloadTooLarge { member, len } => {
-                write!(f, "member {member} wants to send {len} bytes, exceeding u32::MAX")
+                write!(
+                    f,
+                    "member {member} wants to send {len} bytes, exceeding u32::MAX"
+                )
             }
             SessionError::Shuffle(e) => write!(f, "announcement shuffle failed: {e}"),
             SessionError::Bulk(e) => write!(f, "bulk DC-net round failed: {e}"),
@@ -237,8 +240,7 @@ impl DissentSession {
             item.extend_from_slice(&tag);
             announcements.push(Some(item));
         }
-        let announcement =
-            run_shuffle(self.config.announcement_slot_len, &announcements, rng)?;
+        let announcement = run_shuffle(self.config.announcement_slot_len, &announcements, rng)?;
 
         // Parse the published announcements into the bulk schedule.
         let mut schedule: Vec<(u32, [u8; 8])> = Vec::new();
@@ -268,9 +270,7 @@ impl DissentSession {
             let mut group = KeyedDcGroup::new(self.size, slot_len, rng)?;
             let payloads: Vec<Option<Vec<u8>>> = (0..self.size)
                 .map(|member| {
-                    let owns_slot = tags[member]
-                        .map(|own_tag| own_tag == *tag)
-                        .unwrap_or(false);
+                    let owns_slot = tags[member].map(|own_tag| own_tag == *tag).unwrap_or(false);
                     if owns_slot {
                         messages[member].clone()
                     } else {
@@ -344,10 +344,15 @@ mod tests {
     fn idle_round_runs_no_bulk_slots() {
         let mut rng = StdRng::seed_from_u64(22);
         let mut session = DissentSession::new(4, SessionConfig::default(), &mut rng).unwrap();
-        let report = session.run_round(&[None, None, None, None], &mut rng).unwrap();
+        let report = session
+            .run_round(&[None, None, None, None], &mut rng)
+            .unwrap();
         assert_eq!(report.bulk_rounds, 0);
         assert!(report.published.is_empty());
-        assert!(report.messages_sent > 0, "the announcement shuffle still runs");
+        assert!(
+            report.messages_sent > 0,
+            "the announcement shuffle still runs"
+        );
     }
 
     #[test]
@@ -387,7 +392,9 @@ mod tests {
         let mut session = DissentSession::new(3, SessionConfig::default(), &mut rng).unwrap();
         assert_eq!(session.rounds_completed(), 0);
         session.run_round(&[None, None, None], &mut rng).unwrap();
-        session.run_round(&[Some(b"x".to_vec()), None, None], &mut rng).unwrap();
+        session
+            .run_round(&[Some(b"x".to_vec()), None, None], &mut rng)
+            .unwrap();
         assert_eq!(session.rounds_completed(), 2);
     }
 }

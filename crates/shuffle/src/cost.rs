@@ -118,10 +118,19 @@ mod tests {
         let at_8 = model.estimate(8).latency_seconds();
         let at_10 = model.estimate(10).latency_seconds();
         let at_12 = model.estimate(12).latency_seconds();
-        assert!(at_8 > 10.0, "k=8 should already be noticeably slow, got {at_8}");
-        assert!((20.0..45.0).contains(&at_10), "k=10 should be ≈30 s, got {at_10}");
+        assert!(
+            at_8 > 10.0,
+            "k=8 should already be noticeably slow, got {at_8}"
+        );
+        assert!(
+            (20.0..45.0).contains(&at_10),
+            "k=10 should be ≈30 s, got {at_10}"
+        );
         assert!(at_12 > at_10 && at_10 > at_8, "latency must grow with k");
-        assert!(at_12 < 90.0, "k=12 stays within the same order of magnitude, got {at_12}");
+        assert!(
+            at_12 < 90.0,
+            "k=12 stays within the same order of magnitude, got {at_12}"
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl LayerKeyPair {
         }
         let (header, rest) = bytes.split_at(8);
         let (ciphertext, tag) = rest.split_at(rest.len() - TAG_LEN);
-        let ephemeral = PublicKey(u64::from_le_bytes(header.try_into().expect("8-byte header")));
+        let ephemeral = PublicKey(u64::from_le_bytes(
+            header.try_into().expect("8-byte header"),
+        ));
         let (enc_key, tag_key) = derive_layer_keys(&self.keys, &ephemeral);
         let expected = truncated_tag(&tag_key, header, ciphertext);
         if !constant_time_eq(&expected, tag) {
@@ -169,7 +171,10 @@ impl std::fmt::Display for LayerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LayerError::Truncated { len } => {
-                write!(f, "onion item of {len} bytes is too short to contain a layer")
+                write!(
+                    f,
+                    "onion item of {len} bytes is too short to contain a layer"
+                )
             }
             LayerError::BadTag => write!(f, "onion layer authentication tag mismatch"),
         }

@@ -232,7 +232,11 @@ pub fn run_shuffle<R: Rng + ?Sized>(
         member
             .submitted
             .as_ref()
-            .map(|padded| batch.iter().any(|item| item.as_bytes() == padded.as_slice()))
+            .map(|padded| {
+                batch
+                    .iter()
+                    .any(|item| item.as_bytes() == padded.as_slice())
+            })
             .unwrap_or(false)
     });
 
@@ -298,7 +302,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let subs = vec![Some(vec![0u8; 31]), None];
         let err = run_shuffle(32, &subs, &mut rng).unwrap_err();
-        assert!(matches!(err, ShuffleError::PayloadTooLarge { member: 0, .. }));
+        assert!(matches!(
+            err,
+            ShuffleError::PayloadTooLarge { member: 0, .. }
+        ));
     }
 
     #[test]
@@ -326,7 +333,10 @@ mod tests {
             let report = run_shuffle(16, &subs, &mut rng).unwrap();
             *orders.entry(report.published.clone()).or_insert(0u32) += 1;
         }
-        assert!(orders.len() > 1, "all 20 seeds produced the same output order");
+        assert!(
+            orders.len() > 1,
+            "all 20 seeds produced the same output order"
+        );
     }
 
     proptest! {

@@ -27,7 +27,10 @@ const RUNS_PER_CELL: usize = 15;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let protocols: Vec<(&str, ProtocolKind)> = vec![
         ("flood", ProtocolKind::Flood),
-        ("dandelion", ProtocolKind::Dandelion(DandelionParams::default())),
+        (
+            "dandelion",
+            ProtocolKind::Dandelion(DandelionParams::default()),
+        ),
         (
             "adaptive-diffusion",
             ProtocolKind::AdaptiveDiffusion(AdParams {
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..AdParams::default()
             }),
         ),
-        ("flexible(k=5,d=4)", ProtocolKind::Flexible(FlexConfig::default())),
+        (
+            "flexible(k=5,d=4)",
+            ProtocolKind::Flexible(FlexConfig::default()),
+        ),
     ];
 
     println!(

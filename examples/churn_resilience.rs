@@ -36,24 +36,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // moment the protocol switches to flood-and-prune — and stay down for
         // the rest of the run; the originator is protected so the experiment
         // measures dissemination, not a trivially dead source.
-        let churn = ChurnSchedule::random_fraction(
-            n,
-            fraction,
-            6 * SECOND,
-            u64::MAX,
-            &[origin],
-            &mut rng,
-        );
+        let churn =
+            ChurnSchedule::random_fraction(n, fraction, 6 * SECOND, u64::MAX, &[origin], &mut rng);
         let offline = churn.affected_nodes();
 
         let metrics = run_protocol(
             ProtocolKind::Flexible(FlexConfig::default()),
             graph,
             origin,
-            SimConfig { seed: 5, churn: churn.clone(), ..SimConfig::default() },
+            SimConfig {
+                seed: 5,
+                churn: churn.clone(),
+                ..SimConfig::default()
+            },
         )?;
 
-        let up_nodes: Vec<usize> = (0..n).filter(|i| !offline.contains(&NodeId::new(*i))).collect();
+        let up_nodes: Vec<usize> = (0..n)
+            .filter(|i| !offline.contains(&NodeId::new(*i)))
+            .collect();
         let delivered_up = up_nodes
             .iter()
             .filter(|&&i| metrics.delivered_at[i].is_some())

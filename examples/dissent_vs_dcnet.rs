@@ -21,7 +21,10 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let transaction = b"alice pays bob 3 tokens".to_vec();
-    println!("anonymous intra-group transmission of a {}-byte transaction\n", transaction.len());
+    println!(
+        "anonymous intra-group transmission of a {}-byte transaction\n",
+        transaction.len()
+    );
     println!(
         "{:<4} {:>16} {:>14} {:>18} {:>16} {:>18}",
         "k", "dc-net msgs", "dc-net bytes", "dissent msgs", "dissent bytes", "dissent startup"

@@ -30,15 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("initial size {}", group.len());
     let leaving = group.member_vec()[0];
     group.leave(leaving)?;
-    println!("after {leaving} left: size {} (provides privacy: {})", group.len(), group.provides_privacy());
+    println!(
+        "after {leaving} left: size {} (provides privacy: {})",
+        group.len(),
+        group.provides_privacy()
+    );
     let mut next_recruit = 200;
     while group.len() < group.max_size() {
         group.join(NodeId::new(next_recruit))?;
         next_recruit += 1;
     }
     println!("recruited up to the ceiling: size {}", group.len());
-    group.join(NodeId::new(999)).err().map(|e| println!("join at ceiling rejected: {e}"));
+    if let Some(e) = group.join(NodeId::new(999)).err() {
+        println!("join at ceiling rejected: {e}")
+    }
     group.join(NodeId::new(998)).ok(); // ignored, full
+
     // Grow past the ceiling by merging with a sibling, then split.
     let sibling = Group::new(5, (300..305).map(NodeId::new))?;
     group.merge(sibling);
@@ -67,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut overlapping = OverlappingGroups::new();
     overlapping.insert_group(0, [NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
     overlapping.insert_group(1, [NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
-    for policy in [GroupSelectionPolicy::UniformPerNode, GroupSelectionPolicy::Smoothed] {
+    for policy in [
+        GroupSelectionPolicy::UniformPerNode,
+        GroupSelectionPolicy::Smoothed,
+    ] {
         println!(
             "policy {policy:<18}: worst-case origin probability {:.2} (ideal 0.33), skew {:.2}",
             overlapping.worst_case_origin_probability(0, policy),
@@ -78,10 +88,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== manager-based membership votes (Reiter-style, > 2/3 quorum) ==");
     let base = Group::new(4, (0..6).map(NodeId::new))?;
     let mut managed = ManagedGroup::new(base, NodeId::new(0))?;
-    println!("quorum needed: {} of {}", managed.required_quorum(), managed.group().len());
+    println!(
+        "quorum needed: {} of {}",
+        managed.required_quorum(),
+        managed.group().len()
+    );
     let votes: Vec<NodeId> = (0..3).map(NodeId::new).collect();
     match managed.propose_join(NodeId::new(50), &votes)? {
-        MembershipDecision::Rejected { acknowledgements, required } => {
+        MembershipDecision::Rejected {
+            acknowledgements,
+            required,
+        } => {
             println!("join with {acknowledgements} acks rejected (needs {required})");
         }
         MembershipDecision::Accepted => println!("join accepted"),

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ProtocolKind::Flexible(FlexConfig::default()),
         graph.clone(),
         wallet,
-        SimConfig { seed: 3, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        },
     )?;
     println!(
         "broadcast reached {:.0}% of the network with {} messages",
@@ -46,12 +49,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics.messages_sent
     );
 
-    let race_config = RaceConfig { mean_block_interval: 5 * SECOND, fee: tx.fee(), max_blocks: 200 };
+    let race_config = RaceConfig {
+        mean_block_interval: 5 * SECOND,
+        fee: tx.fee(),
+        max_blocks: 200,
+    };
     let outcome = fnp_blockchain::race_transaction(&metrics, &miners, race_config, &mut rng);
     let mut chain = Blockchain::new(NodeId::new(0));
-    if let fnp_blockchain::RaceOutcome::Included { miner, at, blocks_waited } = outcome {
+    if let fnp_blockchain::RaceOutcome::Included {
+        miner,
+        at,
+        blocks_waited,
+    } = outcome
+    {
         let block = Block::new(
-            BlockHeader { height: 1, parent: chain.tip().hash(), miner, found_at: at },
+            BlockHeader {
+                height: 1,
+                parent: chain.tip().hash(),
+                miner,
+                found_at: at,
+            },
             mempool.select_for_block(1_000_000),
         );
         chain.append(block)?;
@@ -62,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             blocks_waited,
             chain.fees_by_miner()
         );
-        println!("inclusion recorded at height {:?}\n", chain.inclusion_height(&tx.id()));
+        println!(
+            "inclusion recorded at height {:?}\n",
+            chain.inclusion_height(&tx.id())
+        );
     } else {
         println!("the transaction was orphaned within the race budget\n");
     }
@@ -82,8 +102,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut run_rng = StdRng::seed_from_u64(seed);
             let graph = topology::random_regular(n, 8, &mut run_rng)?;
             let origin = NodeId::new(run_rng.gen_range(miner_count..n));
-            let metrics =
-                run_protocol(kind, graph, origin, SimConfig { seed, ..SimConfig::default() })?;
+            let metrics = run_protocol(
+                kind,
+                graph,
+                origin,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )?;
             for _ in 0..300 {
                 race.run_once(&metrics, &miners, race_config, &mut run_rng);
             }
@@ -91,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = race.report(&miners);
         println!(
             "{:<20} {:>12.3} {:>10.3} {:>22.0}",
-            label, report.jain_index, report.gini, report.mean_inclusion_delay / 1_000.0
+            label,
+            report.jain_index,
+            report.gini,
+            report.mean_inclusion_delay / 1_000.0
         );
     }
     println!(

@@ -22,7 +22,10 @@ const RUNS: usize = 5;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let protocols: Vec<(&str, ProtocolKind)> = vec![
         ("flood-and-prune", ProtocolKind::Flood),
-        ("dandelion", ProtocolKind::Dandelion(DandelionParams::default())),
+        (
+            "dandelion",
+            ProtocolKind::Dandelion(DandelionParams::default()),
+        ),
         (
             "adaptive-diffusion",
             ProtocolKind::AdaptiveDiffusion(AdParams {
@@ -30,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..AdParams::default()
             }),
         ),
-        ("flexible(k=5,d=4)", ProtocolKind::Flexible(FlexConfig::default())),
+        (
+            "flexible(k=5,d=4)",
+            ProtocolKind::Flexible(FlexConfig::default()),
+        ),
     ];
 
     println!("{NETWORK_SIZE}-node 8-regular overlay, {RUNS} broadcasts per protocol\n");
@@ -51,7 +57,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut rng = StdRng::seed_from_u64(seed);
             let graph = topology::random_regular(NETWORK_SIZE, 8, &mut rng)?;
             let origin = NodeId::new(rng.gen_range(0..NETWORK_SIZE));
-            let metrics = run_protocol(kind, graph, origin, SimConfig { seed, ..SimConfig::default() })?;
+            let metrics = run_protocol(
+                kind,
+                graph,
+                origin,
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )?;
 
             messages.push(metrics.messages_sent as f64);
             kilobytes.push(metrics.bytes_sent as f64 / 1024.0);

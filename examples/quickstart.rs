@@ -40,9 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("originator               : {origin}");
     println!(
         "originator's DC-net group : {:?}",
-        report.origin_group.iter().map(|n| n.index()).collect::<Vec<_>>()
+        report
+            .origin_group
+            .iter()
+            .map(|n| n.index())
+            .collect::<Vec<_>>()
     );
-    println!("coverage                  : {:.1}%", report.coverage() * 100.0);
+    println!(
+        "coverage                  : {:.1}%",
+        report.coverage() * 100.0
+    );
     println!("total messages            : {}", report.total_messages());
     println!(
         "  phase 1 (dc-net)        : {:>7} messages, {:>9} bytes",
@@ -58,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (fraction, label) in [(0.5, "50%"), (0.9, "90%"), (1.0, "100%")] {
         if let Some(at) = report.metrics.time_to_coverage(fraction) {
-            println!("time to {label:>4} coverage     : {:>8.1} ms", as_millis(at));
+            println!(
+                "time to {label:>4} coverage     : {:>8.1} ms",
+                as_millis(at)
+            );
         }
     }
     Ok(())

@@ -81,7 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = group.run_round(round, &payloads)?;
         match &report.outcome {
             SlotOutcome::Collision => {
-                println!("round {round}: collision between members {senders:?} — retrying with back-off");
+                println!(
+                    "round {round}: collision between members {senders:?} — retrying with back-off"
+                );
             }
             SlotOutcome::Message(message) => {
                 println!(

@@ -43,7 +43,9 @@ pub use fnp_shuffle as shuffle;
 /// The most common entry points, re-exported for convenience.
 pub mod prelude {
     pub use fnp_adversary::{first_spy, AdversarySet, AdversaryView, PrivacyExperiment};
-    pub use fnp_core::{run_flexible_broadcast, run_protocol, FlexConfig, FlexReport, ProtocolKind};
+    pub use fnp_core::{
+        run_flexible_broadcast, run_protocol, FlexConfig, FlexReport, ProtocolKind,
+    };
     pub use fnp_netsim::{topology, Graph, NodeId, SimConfig, Topology};
 }
 

@@ -25,7 +25,10 @@ fn a_flexible_broadcast_feeds_a_block_race_and_a_chain() {
         ProtocolKind::Flexible(FlexConfig::default()),
         overlay(n, 1),
         wallet,
-        SimConfig { seed: 1, ..SimConfig::default() },
+        SimConfig {
+            seed: 1,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     assert_eq!(metrics.coverage(), 1.0);
@@ -39,7 +42,11 @@ fn a_flexible_broadcast_feeds_a_block_race_and_a_chain() {
     let outcome = fnp_blockchain::race_transaction(
         &metrics,
         &miners,
-        RaceConfig { mean_block_interval: 2 * SECOND, fee: tx.fee(), max_blocks: 100 },
+        RaceConfig {
+            mean_block_interval: 2 * SECOND,
+            fee: tx.fee(),
+            max_blocks: 100,
+        },
         &mut rng,
     );
     let RaceOutcome::Included { miner, at, .. } = outcome else {
@@ -48,7 +55,12 @@ fn a_flexible_broadcast_feeds_a_block_race_and_a_chain() {
 
     let mut chain = Blockchain::new(NodeId::new(0));
     let block = Block::new(
-        BlockHeader { height: 1, parent: chain.tip().hash(), miner, found_at: at },
+        BlockHeader {
+            height: 1,
+            parent: chain.tip().hash(),
+            miner,
+            found_at: at,
+        },
         mempool.select_for_block(1_000_000),
     );
     chain.append(block).unwrap();
@@ -63,7 +75,10 @@ fn every_protocol_in_the_suite_lets_all_miners_earn() {
     // delivery/fairness requirement §II puts on any dissemination mechanism.
     let rows = fnp_bench_free_fairness();
     for (label, jain) in rows {
-        assert!(jain > 0.8, "{label} produced an unfair distribution: {jain}");
+        assert!(
+            jain > 0.8,
+            "{label} produced an unfair distribution: {jain}"
+        );
     }
 }
 
@@ -73,7 +88,11 @@ fn fnp_bench_free_fairness() -> Vec<(&'static str, f64)> {
     let n = 150;
     let miner_count = 15;
     let miners = MinerSet::uniform(miner_count).unwrap();
-    let race_config = RaceConfig { mean_block_interval: 3 * SECOND, fee: 50, max_blocks: 200 };
+    let race_config = RaceConfig {
+        mean_block_interval: 3 * SECOND,
+        fee: 50,
+        max_blocks: 200,
+    };
     [
         ("flood", ProtocolKind::Flood),
         ("flexible", ProtocolKind::Flexible(FlexConfig::default())),
@@ -88,7 +107,10 @@ fn fnp_bench_free_fairness() -> Vec<(&'static str, f64)> {
                 kind,
                 overlay(n, seed),
                 origin,
-                SimConfig { seed, ..SimConfig::default() },
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
             )
             .unwrap();
             for _ in 0..400 {
@@ -103,7 +125,11 @@ fn fnp_bench_free_fairness() -> Vec<(&'static str, f64)> {
 #[test]
 fn skewed_delivery_is_less_fair_than_uniform_delivery() {
     let miners = MinerSet::uniform(10).unwrap();
-    let race_config = RaceConfig { mean_block_interval: 1 * SECOND, fee: 10, max_blocks: 100 };
+    let race_config = RaceConfig {
+        mean_block_interval: SECOND,
+        fee: 10,
+        max_blocks: 100,
+    };
 
     let mut uniform = Metrics::new(10);
     let mut skewed = Metrics::new(10);
@@ -143,7 +169,12 @@ fn mempool_and_chain_compose_over_multiple_blocks() {
     // mined until the pool drains.
     for i in 0..10usize {
         mempool
-            .insert(Transaction::new(NodeId::new(100 + i), 250, (i as u64 + 1) * 10, 0))
+            .insert(Transaction::new(
+                NodeId::new(100 + i),
+                250,
+                (i as u64 + 1) * 10,
+                0,
+            ))
             .unwrap();
     }
     let mut now = 0;
@@ -155,12 +186,21 @@ fn mempool_and_chain_compose_over_multiple_blocks() {
             mempool.remove(&tx.id());
         }
         let block = Block::new(
-            BlockHeader { height: chain.height() + 1, parent: chain.tip().hash(), miner: winner, found_at: now },
+            BlockHeader {
+                height: chain.height() + 1,
+                parent: chain.tip().hash(),
+                miner: winner,
+                found_at: now,
+            },
             txs,
         );
         chain.append(block).unwrap();
     }
-    assert_eq!(chain.height(), 5, "10 transactions in blocks of 2 need 5 blocks");
+    assert_eq!(
+        chain.height(),
+        5,
+        "10 transactions in blocks of 2 need 5 blocks"
+    );
     let total_fees: u64 = chain.fees_by_miner().values().sum();
     assert_eq!(total_fees, (1..=10).map(|i| i * 10).sum::<u64>());
     // Fee-rate ordering means the first mined block carries the two most

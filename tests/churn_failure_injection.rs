@@ -29,7 +29,11 @@ fn flooding_still_reaches_most_surviving_nodes_under_churn() {
         overlay(n, 1),
         origin,
         7,
-        SimConfig { seed: 1, churn, ..SimConfig::default() },
+        SimConfig {
+            seed: 1,
+            churn,
+            ..SimConfig::default()
+        },
     );
 
     // Offline nodes obviously never deliver...
@@ -38,8 +42,13 @@ fn flooding_still_reaches_most_surviving_nodes_under_churn() {
     }
     // ...but the vast majority of surviving nodes still do: a degree-8
     // overlay stays connected when a random 20 % of nodes disappear.
-    let up: Vec<usize> = (0..n).filter(|i| !offline.contains(&NodeId::new(*i))).collect();
-    let delivered = up.iter().filter(|&&i| metrics.delivered_at[i].is_some()).count();
+    let up: Vec<usize> = (0..n)
+        .filter(|i| !offline.contains(&NodeId::new(*i)))
+        .collect();
+    let delivered = up
+        .iter()
+        .filter(|&&i| metrics.delivered_at[i].is_some())
+        .count();
     let survivor_coverage = delivered as f64 / up.len() as f64;
     assert!(
         survivor_coverage > 0.95,
@@ -60,10 +69,15 @@ fn flexible_broadcast_with_late_churn_still_covers_survivors() {
         ProtocolKind::Flexible(FlexConfig::default()),
         overlay(n, 2),
         origin,
-        SimConfig { seed: 2, ..SimConfig::default() },
+        SimConfig {
+            seed: 2,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
-    let crash_at = baseline.time_to_coverage(0.9).expect("baseline reaches 90 %");
+    let crash_at = baseline
+        .time_to_coverage(0.9)
+        .expect("baseline reaches 90 %");
 
     let mut rng = StdRng::seed_from_u64(2);
     let churn = ChurnSchedule::random_fraction(n, 0.15, crash_at, u64::MAX, &[origin], &mut rng);
@@ -73,12 +87,21 @@ fn flexible_broadcast_with_late_churn_still_covers_survivors() {
         ProtocolKind::Flexible(FlexConfig::default()),
         overlay(n, 2),
         origin,
-        SimConfig { seed: 2, churn, ..SimConfig::default() },
+        SimConfig {
+            seed: 2,
+            churn,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
 
-    let up: Vec<usize> = (0..n).filter(|i| !offline.contains(&NodeId::new(*i))).collect();
-    let delivered = up.iter().filter(|&&i| metrics.delivered_at[i].is_some()).count();
+    let up: Vec<usize> = (0..n)
+        .filter(|i| !offline.contains(&NodeId::new(*i)))
+        .collect();
+    let delivered = up
+        .iter()
+        .filter(|&&i| metrics.delivered_at[i].is_some())
+        .count();
     let survivor_coverage = delivered as f64 / up.len() as f64;
     assert!(
         survivor_coverage > 0.85,
@@ -102,7 +125,11 @@ fn early_churn_can_stall_the_diffusion_phase() {
         ProtocolKind::Flexible(FlexConfig::default()),
         overlay(n, 2),
         origin,
-        SimConfig { seed: 2, churn, ..SimConfig::default() },
+        SimConfig {
+            seed: 2,
+            churn,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
 
@@ -135,14 +162,21 @@ fn an_outage_that_ends_before_the_broadcast_changes_nothing() {
         ProtocolKind::Flexible(FlexConfig::default()),
         overlay(n, 3),
         origin,
-        SimConfig { seed: 3, churn, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            churn,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let without_churn = run_protocol(
         ProtocolKind::Flexible(FlexConfig::default()),
         overlay(n, 3),
         origin,
-        SimConfig { seed: 3, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     assert_eq!(with_churn.coverage(), 1.0);
@@ -162,7 +196,11 @@ fn a_crashed_originator_cannot_broadcast() {
         overlay(n, 4),
         origin,
         9,
-        SimConfig { seed: 4, churn, ..SimConfig::default() },
+        SimConfig {
+            seed: 4,
+            churn,
+            ..SimConfig::default()
+        },
     );
     // The origin's own sends are still counted (it does not know it is
     // "down" — the model drops traffic, not intentions), but nothing can be

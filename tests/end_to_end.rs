@@ -18,8 +18,13 @@ fn overlay(n: usize, degree: usize, seed: u64) -> fnp_netsim::Graph {
 fn flexible_broadcast_delivers_on_multiple_topologies() {
     let topologies = [
         Topology::RandomRegular { degree: 8 },
-        Topology::ErdosRenyi { edge_probability: 0.04 },
-        Topology::WattsStrogatz { k: 6, rewire_probability: 0.2 },
+        Topology::ErdosRenyi {
+            edge_probability: 0.04,
+        },
+        Topology::WattsStrogatz {
+            k: 6,
+            rewire_probability: 0.2,
+        },
         Topology::BarabasiAlbert { attachment: 4 },
     ];
     for (index, family) in topologies.iter().enumerate() {
@@ -30,11 +35,20 @@ fn flexible_broadcast_delivers_on_multiple_topologies() {
             NodeId::new(7),
             b"integration tx".to_vec(),
             FlexConfig::default(),
-            SimConfig { seed: index as u64, ..SimConfig::default() },
+            SimConfig {
+                seed: index as u64,
+                ..SimConfig::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{family}: {e}"));
-        assert_eq!(report.coverage(), 1.0, "{family} did not reach full coverage");
-        assert!(report.phase1_messages > 0 && report.phase2_messages > 0 && report.phase3_messages > 0);
+        assert_eq!(
+            report.coverage(),
+            1.0,
+            "{family} did not reach full coverage"
+        );
+        assert!(
+            report.phase1_messages > 0 && report.phase2_messages > 0 && report.phase3_messages > 0
+        );
     }
 }
 
@@ -47,7 +61,10 @@ fn flexible_broadcast_delivers_from_any_origin() {
             NodeId::new(origin),
             format!("tx from {origin}").into_bytes(),
             FlexConfig::default(),
-            SimConfig { seed: origin as u64, ..SimConfig::default() },
+            SimConfig {
+                seed: origin as u64,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(report.coverage(), 1.0, "origin {origin}");
@@ -66,12 +83,15 @@ fn parameter_sweep_keeps_delivery_guarantee() {
                 NodeId::new(3),
                 b"sweep tx".to_vec(),
                 config,
-                SimConfig { seed: (k as u64) * 100 + d as u64, ..SimConfig::default() },
+                SimConfig {
+                    seed: (k as u64) * 100 + d as u64,
+                    ..SimConfig::default()
+                },
             )
             .unwrap();
             assert_eq!(report.coverage(), 1.0, "k={k} d={d}");
             assert!(
-                report.origin_group.len() >= k && report.origin_group.len() <= 2 * k - 1,
+                report.origin_group.len() >= k && report.origin_group.len() < 2 * k,
                 "group size {} outside [{k}, {}]",
                 report.origin_group.len(),
                 2 * k - 1
@@ -89,7 +109,10 @@ fn larger_d_costs_more_diffusion_messages() {
             NodeId::new(9),
             b"tx".to_vec(),
             FlexConfig::default().with_d(d),
-            SimConfig { seed: 5, ..SimConfig::default() },
+            SimConfig {
+                seed: 5,
+                ..SimConfig::default()
+            },
         )
         .unwrap()
     };
@@ -112,13 +135,24 @@ fn all_four_protocols_deliver_and_are_deterministic() {
     let kinds = [
         ProtocolKind::Flood,
         ProtocolKind::Dandelion(DandelionParams::default()),
-        ProtocolKind::AdaptiveDiffusion(AdParams { max_rounds: 96, ..AdParams::default() }),
+        ProtocolKind::AdaptiveDiffusion(AdParams {
+            max_rounds: 96,
+            ..AdParams::default()
+        }),
         ProtocolKind::Flexible(FlexConfig::default()),
     ];
     for kind in kinds {
         let run = || {
-            run_protocol(kind, graph.clone(), NodeId::new(17), SimConfig { seed: 3, ..SimConfig::default() })
-                .unwrap()
+            run_protocol(
+                kind,
+                graph.clone(),
+                NodeId::new(17),
+                SimConfig {
+                    seed: 3,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
         };
         let a = run();
         let b = run();
@@ -136,7 +170,10 @@ fn phase_breakdown_accounts_for_all_messages() {
         NodeId::new(0),
         b"accounting tx".to_vec(),
         FlexConfig::default(),
-        SimConfig { seed: 1, ..SimConfig::default() },
+        SimConfig {
+            seed: 1,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     assert_eq!(

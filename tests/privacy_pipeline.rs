@@ -23,8 +23,16 @@ fn detection_probability(kind: ProtocolKind, base_seed: u64) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let graph = topology::random_regular(N, 8, &mut rng).unwrap();
         let origin = NodeId::new(rng.gen_range(0..N));
-        let metrics = run_protocol(kind, graph, origin, SimConfig { seed, ..SimConfig::default() })
-            .expect("protocol run");
+        let metrics = run_protocol(
+            kind,
+            graph,
+            origin,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+        .expect("protocol run");
         assert_eq!(metrics.coverage(), 1.0);
         let adversaries = AdversarySet::random_fraction(N, ADVERSARY_FRACTION, &[origin], &mut rng);
         let view = AdversaryView::from_metrics(&metrics, &adversaries);
@@ -64,7 +72,10 @@ fn first_spy_never_sees_inside_the_dc_group() {
             origin,
             b"group shield tx".to_vec(),
             FlexConfig::default(),
-            SimConfig { seed, ..SimConfig::default() },
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         // Adversary everywhere except the originator's group.
@@ -99,12 +110,18 @@ fn detection_probability_grows_with_adversary_fraction() {
                 ProtocolKind::Flood,
                 graph,
                 origin,
-                SimConfig { seed, ..SimConfig::default() },
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
             )
             .unwrap();
             let adversaries = AdversarySet::random_fraction(N, fraction, &[origin], &mut rng);
             let view = AdversaryView::from_metrics(&metrics, &adversaries);
-            experiment.record(AttackOutcome { origin, estimate: first_spy(&view) });
+            experiment.record(AttackOutcome {
+                origin,
+                estimate: first_spy(&view),
+            });
         }
         detection.push(experiment.detection_probability());
     }
@@ -125,7 +142,10 @@ fn estimates_are_deterministic_for_a_fixed_trace() {
         ProtocolKind::Flood,
         graph,
         origin,
-        SimConfig { seed: 9, ..SimConfig::default() },
+        SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let adversaries = AdversarySet::from_nodes(N, (10..50).map(NodeId::new));

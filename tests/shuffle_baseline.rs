@@ -71,7 +71,10 @@ fn startup_latency_reproduces_the_papers_thirty_second_anchor() {
     // §III-B: "noticeably slow, e.g., 30 seconds, for group sizes of 8 to 12".
     let at_8 = startup_latency_ms(8) / 1000.0;
     let at_12 = startup_latency_ms(12) / 1000.0;
-    assert!(at_8 > 10.0, "k=8 should already be tens of seconds, got {at_8}");
+    assert!(
+        at_8 > 10.0,
+        "k=8 should already be tens of seconds, got {at_8}"
+    );
     assert!(at_12 > 30.0, "k=12 should exceed 30 s, got {at_12}");
     // The flexible protocol's DC-net phase has no comparable serial setup:
     // its round interval is sub-second by configuration.
@@ -93,7 +96,10 @@ fn dissent_rejects_invalid_configurations() {
     let mut session = DissentSession::new(3, SessionConfig::default(), &mut rng).unwrap();
     assert!(matches!(
         session.run_round(&[None, None], &mut rng),
-        Err(SessionError::WrongSubmissionCount { received: 2, expected: 3 })
+        Err(SessionError::WrongSubmissionCount {
+            received: 2,
+            expected: 3
+        })
     ));
 }
 

@@ -8,8 +8,8 @@ use fnp_adversary::{
     first_sender, first_spy, insider_posterior, phase1_detection_probability, timing_ml,
     AdversarySet, AdversaryView, LinkObserver,
 };
-use fnp_core::{run_flexible_broadcast, run_protocol, ElectionStrategy, FlexConfig, ProtocolKind};
 use fnp_core::PHASE1_KINDS;
+use fnp_core::{run_flexible_broadcast, run_protocol, ElectionStrategy, FlexConfig, ProtocolKind};
 use fnp_gossip::run_flood;
 use fnp_netsim::{topology, NodeId, SimConfig};
 use rand::rngs::StdRng;
@@ -24,13 +24,19 @@ fn overlay(n: usize, seed: u64) -> fnp_netsim::Graph {
 fn ablated_election_still_delivers_to_everyone() {
     // The ablation only changes *who* becomes the virtual source, not the
     // delivery machinery; coverage must stay at 100 % for both strategies.
-    for strategy in [ElectionStrategy::HashBased, ElectionStrategy::OriginatorAsSource] {
+    for strategy in [
+        ElectionStrategy::HashBased,
+        ElectionStrategy::OriginatorAsSource,
+    ] {
         let config = FlexConfig::default().with_election(strategy);
         let metrics = run_protocol(
             ProtocolKind::Flexible(config),
             overlay(200, 7),
             NodeId::new(33),
-            SimConfig { seed: 7, ..SimConfig::default() },
+            SimConfig {
+                seed: 7,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(metrics.coverage(), 1.0, "{strategy:?} lost coverage");
@@ -47,7 +53,10 @@ fn insider_coalitions_stay_at_the_analytic_floor() {
         NodeId::new(20),
         b"insider test tx".to_vec(),
         FlexConfig::default(),
-        SimConfig { seed: 3, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let group = report.origin_group.clone();
@@ -83,7 +92,11 @@ fn a_global_eavesdropper_breaks_flooding_but_not_phase_one() {
         graph.clone(),
         origin,
         42,
-        SimConfig { seed: 5, record_trace: true, ..SimConfig::default() },
+        SimConfig {
+            seed: 5,
+            record_trace: true,
+            ..SimConfig::default()
+        },
     );
     let flood_estimate = first_sender(&observer, &flood_metrics, &[]);
     assert_eq!(flood_estimate.best_guess, Some(origin));
@@ -97,11 +110,17 @@ fn a_global_eavesdropper_breaks_flooding_but_not_phase_one() {
         ProtocolKind::Flexible(FlexConfig::default()),
         graph,
         origin,
-        SimConfig { seed: 5, ..SimConfig::default() },
+        SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let flex_estimate = first_sender(&observer, &flex_metrics, PHASE1_KINDS);
-    assert!(flex_estimate.best_guess.is_some(), "a global observer always sees something");
+    assert!(
+        flex_estimate.best_guess.is_some(),
+        "a global observer always sees something"
+    );
     // The suspect must at least be a member of some DC-net group phase 1 ran
     // in; the crucial check is that the estimator is not handed the origin
     // with certainty the way flooding hands it over.
@@ -126,7 +145,11 @@ fn timing_attack_ranks_the_flood_origin_high_but_not_the_flexible_origin() {
         graph.clone(),
         origin,
         7,
-        SimConfig { seed: 9, record_trace: true, ..SimConfig::default() },
+        SimConfig {
+            seed: 9,
+            record_trace: true,
+            ..SimConfig::default()
+        },
     );
     let flood_view = AdversaryView::from_metrics(&flood_metrics, &adversaries);
     let per_hop = fnp_adversary::infer_per_hop_latency(&flood_view).unwrap_or(1.0);
@@ -137,7 +160,10 @@ fn timing_attack_ranks_the_flood_origin_high_but_not_the_flexible_origin() {
         ProtocolKind::Flexible(FlexConfig::default()),
         graph.clone(),
         origin,
-        SimConfig { seed: 9, ..SimConfig::default() },
+        SimConfig {
+            seed: 9,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let flex_view = AdversaryView::from_metrics(&flex_metrics, &adversaries);
