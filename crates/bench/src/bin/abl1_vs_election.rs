@@ -1,14 +1,36 @@
 //! Ablation A1 (§IV-B): the hash-based virtual-source election versus the
 //! ablated variant in which the originator keeps the virtual-source role.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(fnp_bench::PAPER_NETWORK_SIZE);
+    let runs = args.runs_or(20);
+    let adversary_fraction = 0.2;
+    let base_seed: u64 = 21;
     println!("A1 / §IV-B — virtual-source election ablation\n");
-    println!("1,000-node overlay, adversary fraction 0.2, first-spy estimator\n");
+    println!("{n}-node overlay, adversary fraction {adversary_fraction}, first-spy estimator\n");
     println!(
         "{:<24} {:>12} {:>18} {:>16}",
         "election", "P[detect]", "anonymity set", "entropy (bits)"
     );
-    for row in fnp_bench::election_ablation(fnp_bench::PAPER_NETWORK_SIZE, 0.2, 20, 21) {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        ("adversary_fraction", Json::from(adversary_fraction)),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "abl1_vs_election",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::election_ablation_with(&runner, n, adversary_fraction, runs, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<24} {:>12.3} {:>18.1} {:>16.2}",
             row.strategy,

@@ -1,0 +1,101 @@
+//! Produces `BENCH_baseline.json`: the first point of the repo's recorded
+//! perf trajectory.
+//!
+//! Runs a fixed, small `fig1_landscape`-sized workload twice — once
+//! single-threaded, once on 4 worker threads — verifies that both runs
+//! produce byte-identical rows (the `TrialRunner` determinism contract),
+//! and writes both wall-clock timings plus the speedup into one snapshot
+//! file. Later perf PRs re-run this binary and compare against the
+//! committed snapshot.
+//!
+//! Usage: `bench_baseline [--json <path>] [--threads <n>] [--n <nodes>]
+//! [--runs <r>]` — `--threads` sets the parallel leg's worker count
+//! (default 4); the sequential leg is always 1 thread. Default output
+//! path: `BENCH_baseline.json`.
+
+use fnp_bench::cli::BinArgs;
+use fnp_bench::json::Json;
+use fnp_bench::TrialRunner;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const DEFAULT_PARALLEL_THREADS: usize = 4;
+
+fn main() {
+    let args = BinArgs::parse();
+    let n = args.n_or(200);
+    let runs = args.runs_or(4);
+    let parallel_threads = if args.threads == 0 {
+        DEFAULT_PARALLEL_THREADS
+    } else {
+        args.threads
+    };
+    let fractions = [0.1, 0.2, 0.3];
+    let base_seed: u64 = 1;
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_baseline.json"));
+
+    println!(
+        "bench_baseline — fig1_landscape workload ({n} nodes, {runs} runs per cell, \
+         1 vs {parallel_threads} threads)"
+    );
+
+    let sequential_started = Instant::now();
+    let sequential_rows =
+        fnp_bench::landscape_with(&TrialRunner::sequential(), n, runs, &fractions, base_seed);
+    let sequential_ms = sequential_started.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_started = Instant::now();
+    let parallel_rows = fnp_bench::landscape_with(
+        &TrialRunner::new(parallel_threads),
+        n,
+        runs,
+        &fractions,
+        base_seed,
+    );
+    let parallel_ms = parallel_started.elapsed().as_secs_f64() * 1e3;
+
+    // The determinism contract, checked on the real workload at full
+    // serialisation fidelity.
+    let sequential_json = Json::rows(&sequential_rows).to_pretty_string();
+    let parallel_json = Json::rows(&parallel_rows).to_pretty_string();
+    assert_eq!(
+        sequential_json, parallel_json,
+        "parallel rows diverged from the sequential run"
+    );
+
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let speedup = sequential_ms / parallel_ms;
+    println!("sequential: {sequential_ms:>10.1} ms");
+    println!("{parallel_threads} threads : {parallel_ms:>10.1} ms  (speedup {speedup:.2}x on {host_threads} host cores)");
+    println!("rows: byte-identical across thread counts");
+
+    let report = Json::obj([
+        ("experiment", Json::from("bench_baseline")),
+        ("workload", Json::from("fig1_landscape")),
+        (
+            "params",
+            Json::obj([
+                ("n", Json::from(n)),
+                ("runs", Json::from(runs)),
+                (
+                    "fractions",
+                    Json::Arr(fractions.iter().map(|&f| Json::from(f)).collect()),
+                ),
+                ("base_seed", Json::from(base_seed)),
+            ]),
+        ),
+        ("host_threads", Json::from(host_threads)),
+        ("sequential_wall_clock_ms", Json::from(sequential_ms)),
+        ("parallel_threads", Json::from(parallel_threads)),
+        ("parallel_wall_clock_ms", Json::from(parallel_ms)),
+        ("speedup", Json::from(speedup)),
+        ("rows_identical", Json::from(true)),
+        ("rows", Json::rows(&sequential_rows)),
+    ]);
+    std::fs::write(&path, report.to_pretty_string())
+        .unwrap_or_else(|error| panic!("failed to write {}: {error}", path.display()));
+    println!("wrote {}", path.display());
+}

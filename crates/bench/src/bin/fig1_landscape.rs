@@ -5,15 +5,38 @@
 //! (performance axis), placing all four protocols in the plane the paper
 //! sketches qualitatively.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
-    let n = 500;
-    let runs = 10;
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(500);
+    let runs = args.runs_or(10);
+    let fractions = [0.1, 0.2, 0.3];
+    let base_seed: u64 = 1;
     println!("E1 / Fig. 1 — privacy-performance landscape ({n} nodes, {runs} runs per cell)\n");
     println!(
         "{:<20} {:>8} {:>12} {:>14} {:>14}",
         "protocol", "phi", "P[detect]", "messages", "t100% (ms)"
     );
-    for row in fnp_bench::landscape(n, runs, &[0.1, 0.2, 0.3], 1) {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        (
+            "fractions",
+            Json::Arr(fractions.iter().map(|&f| Json::from(f)).collect()),
+        ),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "fig1_landscape",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::landscape_with(&runner, n, runs, &fractions, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<20} {:>8.2} {:>12.3} {:>14.0} {:>14.0}",
             row.protocol,

@@ -2,16 +2,44 @@
 //! flood-and-prune with first-spy and Jordan-centre estimators as the
 //! adversary fraction grows (the "≈20 % of nodes suffice" claim).
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
-    let sizes = [250, 500, 1000];
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let sizes = match args.n {
+        Some(n) => vec![n],
+        None => vec![250, 500, 1000],
+    };
     let fractions = [0.05, 0.1, 0.2, 0.3, 0.5];
-    let runs = 10;
+    let runs = args.runs_or(10);
+    let base_seed: u64 = 2;
     println!("E2 / Fig. 2 — flood-and-prune deanonymisation ({runs} runs per cell)\n");
     println!(
         "{:<8} {:>8} {:>16} {:>18} {:>18}",
         "n", "phi", "first-spy P[det]", "jordan P[det]", "anonymity set"
     );
-    for row in fnp_bench::flood_deanonymization(&sizes, &fractions, runs, 2) {
+    let params = Json::obj([
+        (
+            "sizes",
+            Json::Arr(sizes.iter().map(|&n| Json::from(n)).collect()),
+        ),
+        (
+            "fractions",
+            Json::Arr(fractions.iter().map(|&f| Json::from(f)).collect()),
+        ),
+        ("runs", Json::from(runs)),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "fig2_flood_deanon",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::flood_deanonymization_with(&runner, &sizes, &fractions, runs, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<8} {:>8.2} {:>16.3} {:>18.3} {:>18.1}",
             row.n,

@@ -3,16 +3,52 @@
 //! showing that its protection degrades once the adversary controls a
 //! large fraction of nodes (the motivation for the cryptographic phase 1).
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
-    let n = 500;
-    let runs = 10;
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(500);
+    let runs = args.runs_or(10);
+    let fractions = [0.05, 0.15, 0.25, 0.35, 0.5];
+    let stem_probabilities = [0.5, 0.9];
+    let base_seed: u64 = 3;
     println!("E3 / Fig. 3 — Dandelion first-spy privacy ({n} nodes, {runs} runs per cell)\n");
     println!(
         "{:<12} {:>8} {:>12} {:>16}",
         "stem prob", "phi", "P[detect]", "mean stem len"
     );
-    for row in fnp_bench::dandelion_privacy(n, &[0.05, 0.15, 0.25, 0.35, 0.5], &[0.5, 0.9], runs, 3)
-    {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        (
+            "fractions",
+            Json::Arr(fractions.iter().map(|&f| Json::from(f)).collect()),
+        ),
+        (
+            "stem_probabilities",
+            Json::Arr(stem_probabilities.iter().map(|&p| Json::from(p)).collect()),
+        ),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "fig3_dandelion",
+        params,
+        |rows| Json::rows(rows),
+        || {
+            fnp_bench::dandelion_privacy_with(
+                &runner,
+                n,
+                &fractions,
+                &stem_probabilities,
+                runs,
+                base_seed,
+            )
+        },
+    );
+    for row in &rows {
         println!(
             "{:<12.2} {:>8.2} {:>12.3} {:>16.1}",
             row.stem_probability,

@@ -2,9 +2,15 @@
 //! message cost of the DC-net constructions and the byte savings of the
 //! 32-bit length-reservation optimisation for idle rounds.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
+    let args = BinArgs::parse();
+    let runner = args.runner();
     let ks = [3, 4, 5, 6, 8, 10, 12, 16];
     let slot = 512;
+    let base_seed: u64 = 4;
     println!("E4+E9 / Fig. 4 — DC-net round cost (slot = {slot} bytes)\n");
     println!(
         "{:<4} {:>18} {:>14} {:>14} {:>22} {:>24}",
@@ -15,7 +21,19 @@ fn main() {
         "idle bytes (reserved)",
         "idle bytes (full slot)"
     );
-    for row in fnp_bench::dcnet_cost(&ks, slot, 4) {
+    let params = Json::obj([
+        ("ks", Json::Arr(ks.iter().map(|&k| Json::from(k)).collect())),
+        ("slot_len", Json::from(slot)),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "fig4_dcnet_cost",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::dcnet_cost_with(&runner, &ks, slot, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<4} {:>18} {:>14} {:>14} {:>22} {:>24}",
             row.k,

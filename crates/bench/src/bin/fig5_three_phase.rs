@@ -2,15 +2,37 @@
 //! three-phase protocol with the per-phase message breakdown across the
 //! (k, d) parameter grid.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
-    let n = 500;
-    let runs = 5;
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(500);
+    let runs = args.runs_or(5);
+    let ks = [3, 5, 10];
+    let ds = [2, 4, 8];
+    let base_seed: u64 = 5;
     println!("E5 / Fig. 5 — three-phase breakdown ({n} nodes, {runs} runs per cell)\n");
     println!(
         "{:<4} {:<4} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "k", "d", "phase1", "phase2", "phase3", "total", "coverage"
     );
-    for row in fnp_bench::three_phase_breakdown(n, &[3, 5, 10], &[2, 4, 8], runs, 5) {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        ("ks", Json::Arr(ks.iter().map(|&k| Json::from(k)).collect())),
+        ("ds", Json::Arr(ds.iter().map(|&d| Json::from(d)).collect())),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "fig5_three_phase",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::three_phase_breakdown_with(&runner, n, &ks, &ds, runs, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<4} {:<4} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>9.1}%",
             row.k,

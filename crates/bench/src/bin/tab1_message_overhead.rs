@@ -3,11 +3,28 @@
 //! for flood-and-prune; the flexible protocol only pays the diffusion
 //! premium for its first d rounds.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::{Json, ToJson};
+
 fn main() {
-    let n = 1000;
-    let runs = 10;
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(1000);
+    let runs = args.runs_or(10);
+    let base_seed: u64 = 6;
     println!("E6 / §V-A — message overhead on {n} peers ({runs} runs)\n");
-    let result = fnp_bench::message_overhead(n, runs, 6);
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let result = with_report(
+        &args,
+        "tab1_message_overhead",
+        params,
+        |result: &fnp_bench::MessageOverheadResult| Json::Arr(vec![result.to_json()]),
+        || fnp_bench::message_overhead_with(&runner, n, runs, base_seed),
+    );
     println!(
         "flood-and-prune (all peers)     : {:>10.0} messages",
         result.flood_messages

@@ -2,9 +2,18 @@
 //! flexible protocol, compared with the 1/k floor guaranteed by the DC-net
 //! phase and the 1/n perfect-obfuscation target.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
-    let n = 500;
-    let runs = 10;
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(500);
+    let runs = args.runs_or(10);
+    let ks = [3, 5, 10];
+    let ds = [4];
+    let fractions = [0.1, 0.2, 0.3];
+    let base_seed: u64 = 7;
     println!(
         "E7 / §V-B — privacy bounds of the flexible protocol ({n} nodes, {runs} runs per cell)\n"
     );
@@ -12,7 +21,25 @@ fn main() {
         "{:<4} {:<4} {:>8} {:>12} {:>14} {:>10} {:>10}",
         "k", "d", "phi", "P[detect]", "anonymity set", "1/k bound", "1/n ideal"
     );
-    for row in fnp_bench::privacy_bounds(n, &[3, 5, 10], &[4], &[0.1, 0.2, 0.3], runs, 7) {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        ("ks", Json::Arr(ks.iter().map(|&k| Json::from(k)).collect())),
+        ("ds", Json::Arr(ds.iter().map(|&d| Json::from(d)).collect())),
+        (
+            "fractions",
+            Json::Arr(fractions.iter().map(|&f| Json::from(f)).collect()),
+        ),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "tab2_privacy_bounds",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::privacy_bounds_with(&runner, n, &ks, &ds, &fractions, runs, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<4} {:<4} {:>8.2} {:>12.3} {:>14.1} {:>10.3} {:>10.4}",
             row.k,

@@ -2,13 +2,37 @@
 //! DC-net groups under naive group selection, and its removal by the
 //! smoothing policy (the paper's A/B/C example generalised).
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let group_sizes = [3, 5, 8, 10];
+    let overlap_degrees = [1, 2, 3, 4];
     println!("E8 / §IV-C — overlapping-group origin-probability skew\n");
     println!(
         "{:<12} {:<10} {:>14} {:>16} {:>10}",
         "group size", "overlaps", "naive worst", "smoothed worst", "ideal"
     );
-    for row in fnp_bench::group_overlap(&[3, 5, 8, 10], &[1, 2, 3, 4]) {
+    let params = Json::obj([
+        (
+            "group_sizes",
+            Json::Arr(group_sizes.iter().map(|&s| Json::from(s)).collect()),
+        ),
+        (
+            "overlap_degrees",
+            Json::Arr(overlap_degrees.iter().map(|&o| Json::from(o)).collect()),
+        ),
+    ]);
+    let rows = with_report(
+        &args,
+        "tab3_group_overlap",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::group_overlap_with(&runner, &group_sizes, &overlap_degrees),
+    );
+    for row in &rows {
         println!(
             "{:<12} {:<10} {:>14.3} {:>16.3} {:>10.3}",
             row.group_size,

@@ -2,15 +2,33 @@
 //! quantifying the fairness cost (time to reach the miners) that privacy
 //! mechanisms pay.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
-    let n = 500;
-    let runs = 5;
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(500);
+    let runs = args.runs_or(5);
+    let base_seed: u64 = 8;
     println!("E10 / §II — dissemination latency ({n} nodes, {runs} runs per protocol)\n");
     println!(
         "{:<20} {:>12} {:>12} {:>12} {:>12}",
         "protocol", "t50% (ms)", "t90% (ms)", "t100% (ms)", "messages"
     );
-    for row in fnp_bench::latency(n, runs, 8) {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("runs", Json::from(runs)),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "tab4_latency",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::latency_with(&runner, n, runs, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<20} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
             row.protocol, row.t50_ms, row.t90_ms, row.t100_ms, row.messages

@@ -2,13 +2,31 @@
 //! announcement shuffle, reproducing the claim that the announcement round
 //! "becomes noticeably slow, e.g., 30 seconds, for group sizes of 8 to 12".
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let ks = [4, 6, 8, 10, 12, 16];
+    let base_seed: u64 = 5;
     println!("E11 / §III-B — Dissent-style announcement startup cost\n");
     println!(
         "{:<6} {:>14} {:>12} {:>12} {:>14}",
         "k", "startup (s)", "messages", "bytes", "serial steps"
     );
-    for row in fnp_bench::dissent_startup(&[4, 6, 8, 10, 12, 16], 5) {
+    let params = Json::obj([
+        ("ks", Json::Arr(ks.iter().map(|&k| Json::from(k)).collect())),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "tab5_dissent_startup",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::dissent_startup_with(&runner, &ks, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<6} {:>14.1} {:>12} {:>12} {:>14}",
             row.k, row.startup_seconds, row.messages, row.bytes, row.serial_steps

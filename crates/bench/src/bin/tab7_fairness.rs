@@ -2,14 +2,38 @@
 //! translates into miner fee-income (un)fairness and transaction inclusion
 //! delay.
 
+use fnp_bench::cli::{with_report, BinArgs};
+use fnp_bench::json::Json;
+
 fn main() {
+    let args = BinArgs::parse();
+    let runner = args.runner();
+    let n = args.n_or(fnp_bench::PAPER_NETWORK_SIZE);
+    let miner_count = 100.min(n / 2);
+    let runs = args.runs_or(5);
+    let races_per_run = 400;
+    let base_seed: u64 = 9;
     println!("E12 / §II — dissemination latency vs miner fee fairness\n");
-    println!("1,000-node overlay, 100 equal-hash-rate miners, 5 s mean block interval\n");
+    println!("{n}-node overlay, {miner_count} equal-hash-rate miners, 5 s mean block interval\n");
     println!(
         "{:<20} {:>12} {:>10} {:>20} {:>12}",
         "protocol", "Jain index", "Gini", "inclusion delay (ms)", "orphaned"
     );
-    for row in fnp_bench::fee_fairness(fnp_bench::PAPER_NETWORK_SIZE, 100, 5, 400, 9) {
+    let params = Json::obj([
+        ("n", Json::from(n)),
+        ("miner_count", Json::from(miner_count)),
+        ("runs", Json::from(runs)),
+        ("races_per_run", Json::from(races_per_run)),
+        ("base_seed", Json::from(base_seed)),
+    ]);
+    let rows = with_report(
+        &args,
+        "tab7_fairness",
+        params,
+        |rows| Json::rows(rows),
+        || fnp_bench::fee_fairness_with(&runner, n, miner_count, runs, races_per_run, base_seed),
+    );
+    for row in &rows {
         println!(
             "{:<20} {:>12.3} {:>10.3} {:>20.0} {:>12.3}",
             row.protocol,

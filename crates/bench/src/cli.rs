@@ -1,0 +1,192 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every binary in `src/bin/` understands the same small flag set (no
+//! external argument-parsing dependency — the build is offline):
+//!
+//! * `--json <path>` — additionally write the rows, parameters and
+//!   wall-clock timing as pretty-printed JSON (see [`crate::json`]).
+//! * `--threads <n>` — worker threads for the [`crate::TrialRunner`]
+//!   (`0` or omitted = all cores; the `FNP_THREADS` environment variable
+//!   is the session-wide default).
+//! * `--n <nodes>` — override the overlay size (where the experiment has
+//!   one).
+//! * `--runs <r>` — override the per-cell repetition count (where the
+//!   experiment has one).
+//!
+//! Unknown flags abort with a usage message: a typo silently ignored is an
+//! experiment silently misconfigured.
+
+use crate::TrialRunner;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+/// Parsed command-line arguments of one experiment binary.
+#[derive(Clone, Debug, Default)]
+pub struct BinArgs {
+    /// Where to write the JSON report, if requested.
+    pub json: Option<PathBuf>,
+    /// Worker-thread count (`0` = automatic).
+    pub threads: usize,
+    /// Overlay-size override.
+    pub n: Option<usize>,
+    /// Repetition-count override.
+    pub runs: Option<usize>,
+}
+
+impl BinArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    fn parse_from(mut args: impl Iterator<Item = String>) -> Self {
+        let mut parsed = Self::default();
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("error: {flag} requires a value");
+                    usage();
+                    exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+                "--threads" => parsed.threads = parse_number(&value("--threads"), "--threads"),
+                "--n" => parsed.n = Some(parse_number(&value("--n"), "--n")),
+                "--runs" => parsed.runs = Some(parse_number(&value("--runs"), "--runs")),
+                "--help" | "-h" => {
+                    usage();
+                    exit(0);
+                }
+                other => {
+                    eprintln!("error: unknown argument {other:?}");
+                    usage();
+                    exit(2);
+                }
+            }
+        }
+        parsed
+    }
+
+    /// The [`TrialRunner`] these arguments select.
+    #[must_use]
+    pub fn runner(&self) -> TrialRunner {
+        TrialRunner::new(self.threads)
+    }
+
+    /// The overlay size, falling back to the experiment's default.
+    #[must_use]
+    pub fn n_or(&self, default: usize) -> usize {
+        self.n.unwrap_or(default)
+    }
+
+    /// The repetition count, falling back to the experiment's default.
+    #[must_use]
+    pub fn runs_or(&self, default: usize) -> usize {
+        self.runs.unwrap_or(default)
+    }
+}
+
+fn parse_number(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a non-negative integer, got {text:?}");
+        usage();
+        exit(2);
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: <experiment> [--json <path>] [--threads <n>] [--n <nodes>] [--runs <r>]\n\
+         \n\
+         --json <path>   also write rows + wall-clock timing as JSON\n\
+         --threads <n>   trial worker threads (0 = all cores)\n\
+         --n <nodes>     overlay size override (where applicable)\n\
+         --runs <r>      repetitions override (where applicable)"
+    );
+}
+
+/// Runs `body` (the experiment driver) while timing it, and writes the JSON
+/// report afterwards if `--json` was given.
+///
+/// Returns the rows so the binary can print its human-readable table. The
+/// wall clock covers only the driver call — not table printing — so the
+/// recorded timing is the number a perf trajectory should track.
+pub fn with_report<T>(
+    args: &BinArgs,
+    experiment: &str,
+    params: crate::json::Json,
+    rows_to_json: impl FnOnce(&T) -> crate::json::Json,
+    body: impl FnOnce() -> T,
+) -> T {
+    let started = Instant::now();
+    let rows = body();
+    let elapsed = started.elapsed();
+    if let Some(path) = &args.json {
+        let report_rows = rows_to_json(&rows);
+        crate::json::write_report(
+            path,
+            experiment,
+            args.runner().threads(),
+            params,
+            report_rows,
+            elapsed,
+        )
+        .unwrap_or_else(|error| {
+            eprintln!("error: failed to write {}: {error}", path.display());
+            exit(1);
+        });
+        eprintln!(
+            "wrote {} ({} threads, {:.1} ms)",
+            path.display(),
+            args.runner().threads(),
+            as_millis(elapsed)
+        );
+    }
+    rows
+}
+
+fn as_millis(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BinArgs {
+        BinArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_args_are_defaults() {
+        let args = parse(&[]);
+        assert_eq!(args.json, None);
+        assert_eq!(args.threads, 0);
+        assert_eq!(args.n, None);
+        assert_eq!(args.runs, None);
+        assert_eq!(args.n_or(500), 500);
+        assert_eq!(args.runs_or(10), 10);
+        assert!(args.runner().threads() >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let args = parse(&[
+            "--json",
+            "out.json",
+            "--threads",
+            "4",
+            "--n",
+            "200",
+            "--runs",
+            "3",
+        ]);
+        assert_eq!(args.json, Some(PathBuf::from("out.json")));
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.runner().threads(), 4);
+        assert_eq!(args.n_or(500), 200);
+        assert_eq!(args.runs_or(10), 3);
+    }
+}

@@ -1,0 +1,485 @@
+//! Dependency-free JSON output for the experiment binaries.
+//!
+//! Every `fnp-bench` binary accepts `--json <path>` and writes its rows,
+//! its parameters and its wall-clock timing as a pretty-printed JSON
+//! document. The writer is deliberately tiny (the build is offline, so no
+//! serde): a [`Json`] value tree, a deterministic pretty-printer with one
+//! key per line, and [`ToJson`] impls for every experiment row type.
+//!
+//! Determinism matters here: the CI smoke job runs one binary twice and
+//! diffs the outputs (ignoring the `wall_clock_ms` line), so everything
+//! except the timing must be byte-identical across invocations. Rust's
+//! default float formatting (shortest round-trip representation) provides
+//! exactly that.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (serialised without decimal point).
+    Int(i64),
+    /// An unsigned integer (serialised without decimal point).
+    UInt(u64),
+    /// A finite float; non-finite values serialise as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved as inserted.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(value: bool) -> Self {
+        Json::Bool(value)
+    }
+}
+impl From<i64> for Json {
+    fn from(value: i64) -> Self {
+        Json::Int(value)
+    }
+}
+impl From<u64> for Json {
+    fn from(value: u64) -> Self {
+        Json::UInt(value)
+    }
+}
+impl From<usize> for Json {
+    fn from(value: usize) -> Self {
+        Json::UInt(value as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(value: u32) -> Self {
+        Json::UInt(u64::from(value))
+    }
+}
+impl From<f64> for Json {
+    fn from(value: f64) -> Self {
+        Json::Num(value)
+    }
+}
+impl From<&str> for Json {
+    fn from(value: &str) -> Self {
+        Json::Str(value.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(value: String) -> Self {
+        Json::Str(value)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(value: Vec<Json>) -> Self {
+        Json::Arr(value)
+    }
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: impl IntoIterator<Item = (K, V)>) -> Self {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(key, value)| (key.into(), value.into()))
+                .collect(),
+        )
+    }
+
+    /// Builds an array by converting each row with [`ToJson`].
+    pub fn rows<'a, T: ToJson + 'a>(rows: impl IntoIterator<Item = &'a T>) -> Self {
+        Json::Arr(rows.into_iter().map(ToJson::to_json).collect())
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(value) => out.push_str(if *value { "true" } else { "false" }),
+            Json::Int(value) => out.push_str(&value.to_string()),
+            Json::UInt(value) => out.push_str(&value.to_string()),
+            Json::Num(value) => {
+                if value.is_finite() {
+                    // Shortest round-trip representation; deterministic.
+                    out.push_str(&format!("{value}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(value) => write_escaped(out, value),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (index, (key, value)) in pairs.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&" ".repeat(indent + STEP));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialises the value as pretty-printed JSON (two-space indent, one
+    /// key per line, trailing newline).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty_string())
+    }
+}
+
+fn write_escaped(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion of one experiment row into a [`Json`] object.
+pub trait ToJson {
+    /// The JSON representation of this row.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for fnp_adversary::PrivacySummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("runs", Json::from(self.runs)),
+            ("detection_probability", self.detection_probability.into()),
+            (
+                "mean_probability_on_origin",
+                self.mean_probability_on_origin.into(),
+            ),
+            (
+                "mean_anonymity_set_size",
+                self.mean_anonymity_set_size.into(),
+            ),
+            ("mean_entropy_bits", self.mean_entropy_bits.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::LandscapeRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol)),
+            ("adversary_fraction", self.adversary_fraction.into()),
+            ("detection_probability", self.detection_probability.into()),
+            ("mean_messages", self.mean_messages.into()),
+            ("mean_latency_ms", self.mean_latency_ms.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::FloodDeanonRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n)),
+            ("adversary_fraction", self.adversary_fraction.into()),
+            ("first_spy", self.first_spy.to_json()),
+            ("jordan_center", self.jordan_center.to_json()),
+        ])
+    }
+}
+
+impl ToJson for crate::DandelionRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("adversary_fraction", Json::from(self.adversary_fraction)),
+            ("stem_probability", self.stem_probability.into()),
+            ("detection_probability", self.detection_probability.into()),
+            ("mean_stem_length", self.mean_stem_length.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::DcNetCostRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::from(self.k)),
+            ("explicit_messages", self.explicit_messages.into()),
+            ("keyed_messages", self.keyed_messages.into()),
+            ("keyed_bytes", self.keyed_bytes.into()),
+            (
+                "idle_bytes_with_reservation",
+                self.idle_bytes_with_reservation.into(),
+            ),
+            (
+                "idle_bytes_without_reservation",
+                self.idle_bytes_without_reservation.into(),
+            ),
+        ])
+    }
+}
+
+impl ToJson for crate::ThreePhaseRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::from(self.k)),
+            ("d", self.d.into()),
+            ("phase1", self.phase1.into()),
+            ("phase2", self.phase2.into()),
+            ("phase3", self.phase3.into()),
+            ("total", self.total.into()),
+            ("coverage", self.coverage.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::MessageOverheadResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n)),
+            (
+                "adaptive_diffusion_messages",
+                self.adaptive_diffusion_messages.into(),
+            ),
+            ("flood_messages", self.flood_messages.into()),
+            ("flexible_messages", self.flexible_messages.into()),
+            ("overhead_ratio", self.overhead_ratio.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::PrivacyBoundsRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::from(self.k)),
+            ("d", self.d.into()),
+            ("adversary_fraction", self.adversary_fraction.into()),
+            ("summary", self.summary.to_json()),
+            ("group_bound", self.group_bound.into()),
+            ("ideal", self.ideal.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::GroupOverlapRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("group_size", Json::from(self.group_size)),
+            ("overlap_degree", self.overlap_degree.into()),
+            ("naive_worst_case", self.naive_worst_case.into()),
+            ("smoothed_worst_case", self.smoothed_worst_case.into()),
+            ("ideal", self.ideal.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::LatencyRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol)),
+            ("t50_ms", self.t50_ms.into()),
+            ("t90_ms", self.t90_ms.into()),
+            ("t100_ms", self.t100_ms.into()),
+            ("messages", self.messages.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::DissentStartupRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("k", Json::from(self.k)),
+            ("startup_seconds", self.startup_seconds.into()),
+            ("messages", self.messages.into()),
+            ("bytes", self.bytes.into()),
+            ("serial_steps", self.serial_steps.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::FairnessRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol)),
+            ("jain_index", self.jain_index.into()),
+            ("gini", self.gini.into()),
+            (
+                "mean_inclusion_delay_ms",
+                self.mean_inclusion_delay_ms.into(),
+            ),
+            ("orphaned_fraction", self.orphaned_fraction.into()),
+        ])
+    }
+}
+
+impl ToJson for crate::ElectionAblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", Json::from(self.strategy)),
+            ("summary", self.summary.to_json()),
+        ])
+    }
+}
+
+/// Writes one experiment report to `path`.
+///
+/// The document layout keeps `wall_clock_ms` on its own line so that
+/// determinism checks can compare everything else byte for byte:
+///
+/// ```json
+/// {
+///   "experiment": "fig1_landscape",
+///   "threads": 4,
+///   "params": { ... },
+///   "wall_clock_ms": 123.456,
+///   "rows": [ ... ]
+/// }
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_report(
+    path: &Path,
+    experiment: &str,
+    threads: usize,
+    params: Json,
+    rows: Json,
+    wall_clock: Duration,
+) -> std::io::Result<()> {
+    let report = Json::Obj(vec![
+        ("experiment".to_string(), Json::from(experiment)),
+        ("threads".to_string(), Json::from(threads)),
+        ("params".to_string(), params),
+        (
+            "wall_clock_ms".to_string(),
+            Json::Num(wall_clock.as_secs_f64() * 1e3),
+        ),
+        ("rows".to_string(), rows),
+    ]);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(report.to_pretty_string().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_as_json() {
+        assert_eq!(Json::Null.to_pretty_string(), "null\n");
+        assert_eq!(Json::from(true).to_pretty_string(), "true\n");
+        assert_eq!(Json::from(3u64).to_pretty_string(), "3\n");
+        assert_eq!(Json::from(-5i64).to_pretty_string(), "-5\n");
+        assert_eq!(Json::from(1.5).to_pretty_string(), "1.5\n");
+        // Whole floats print without a fractional part but stay valid JSON.
+        assert_eq!(Json::from(2.0).to_pretty_string(), "2\n");
+        assert_eq!(Json::Num(f64::NAN).to_pretty_string(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).to_pretty_string(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let tricky = "a\"b\\c\nd\te\u{1}";
+        assert_eq!(
+            Json::from(tricky).to_pretty_string(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n"
+        );
+    }
+
+    #[test]
+    fn objects_and_arrays_pretty_print_one_key_per_line() {
+        let value = Json::obj([
+            ("name", Json::from("x")),
+            ("items", Json::Arr(vec![Json::from(1u64), Json::from(2u64)])),
+            ("empty", Json::Arr(vec![])),
+            ("nested", Json::obj([("k", Json::from(0.25))])),
+        ]);
+        let expected = "{\n  \"name\": \"x\",\n  \"items\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"nested\": {\n    \"k\": 0.25\n  }\n}\n";
+        assert_eq!(value.to_pretty_string(), expected);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let rows = crate::group_overlap(&[3, 5], &[1, 2]);
+        let a = Json::rows(&rows).to_pretty_string();
+        let b = Json::rows(&rows).to_pretty_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"group_size\": 3"));
+    }
+
+    #[test]
+    fn write_report_produces_the_documented_layout() {
+        let dir = std::env::temp_dir().join("fnp_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_report(
+            &path,
+            "unit_test",
+            2,
+            Json::obj([("n", Json::from(10u64))]),
+            Json::Arr(vec![]),
+            Duration::from_millis(5),
+        )
+        .unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("{\n  \"experiment\": \"unit_test\""));
+        assert!(contents.contains("\n  \"wall_clock_ms\": 5"));
+        assert!(contents.contains("\n  \"rows\": []"));
+        assert!(contents.ends_with("}\n"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

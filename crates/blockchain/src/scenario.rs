@@ -160,6 +160,21 @@ impl InclusionRace {
         outcome
     }
 
+    /// Folds the races recorded by `other` into this aggregate.
+    ///
+    /// Lets parallel experiment runners race each broadcast in its own
+    /// [`InclusionRace`] and merge the per-trial aggregates in plan order;
+    /// the resulting report is identical to recording every race into one
+    /// accumulator sequentially.
+    pub fn merge(&mut self, other: InclusionRace) {
+        for (miner, fees) in other.fees_by_miner {
+            *self.fees_by_miner.entry(miner).or_insert(0) += fees;
+        }
+        self.inclusion_delays.extend(other.inclusion_delays);
+        self.orphaned += other.orphaned;
+        self.total += other.total;
+    }
+
     /// Aggregates the recorded races into a [`FairnessReport`] using the
     /// miners' hash-rate shares as the fairness baseline.
     pub fn report(&self, miners: &MinerSet) -> FairnessReport {

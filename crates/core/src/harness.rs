@@ -22,6 +22,7 @@ use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::rc::Rc;
 
 /// Result of one flexible-protocol broadcast.
 #[derive(Clone, Debug)]
@@ -47,12 +48,7 @@ pub struct FlexReport {
 impl FlexReport {
     fn from_metrics(metrics: Metrics, origin_group: Vec<NodeId>) -> Self {
         let sum_messages = |kinds: &[&str]| kinds.iter().map(|k| metrics.messages_of_kind(k)).sum();
-        let sum_bytes = |kinds: &[&str]| {
-            kinds
-                .iter()
-                .map(|k| metrics.bytes_by_kind.get(*k).copied().unwrap_or(0))
-                .sum()
-        };
+        let sum_bytes = |kinds: &[&str]| kinds.iter().map(|k| metrics.bytes_of_kind(k)).sum();
         Self {
             phase1_messages: sum_messages(PHASE1_KINDS),
             phase2_messages: sum_messages(PHASE2_KINDS),
@@ -128,9 +124,13 @@ pub fn node_key_pair(node: NodeId, key_seed: u64) -> KeyPair {
 }
 
 /// Builds the [`GroupMembership`] handed to each member of `group`.
+///
+/// The member list and identity table are built once and shared
+/// (reference-counted) between all `k` memberships rather than deep-copied
+/// per member.
 fn build_memberships(group: &Group, key_seed: u64) -> Vec<(NodeId, GroupMembership)> {
-    let members = group.member_vec();
-    let identities: Vec<Identity> = members
+    let members: Rc<[NodeId]> = group.member_vec().into();
+    let identities: Rc<[Identity]> = members
         .iter()
         .map(|node| Identity::from_node_index(node.index()))
         .collect();
@@ -149,9 +149,9 @@ fn build_memberships(group: &Group, key_seed: u64) -> Vec<(NodeId, GroupMembersh
             (
                 *node,
                 GroupMembership {
-                    members: members.clone(),
+                    members: Rc::clone(&members),
                     own_index,
-                    identities: identities.clone(),
+                    identities: Rc::clone(&identities),
                     participant,
                 },
             )
@@ -207,9 +207,8 @@ pub fn run_flexible_broadcast(
     let mut traced_config = sim_config;
     traced_config.record_trace = true;
     let mut sim = Simulator::new(graph, nodes, traced_config);
-    sim.trigger(origin, |node, ctx| {
-        node.start_broadcast(payload.clone(), ctx)
-    });
+    // `trigger` takes a `FnOnce`, so the payload can be moved in directly.
+    sim.trigger(origin, |node, ctx| node.start_broadcast(payload, ctx));
     sim.run();
     let (_, metrics) = sim.into_parts();
     Ok(FlexReport::from_metrics(metrics, origin_group))
@@ -309,7 +308,7 @@ mod tests {
             report.coverage(),
             1.0,
             "metrics: {:?}",
-            report.metrics.counters
+            report.metrics.counters()
         );
         // All three phases actually ran.
         assert!(report.phase1_messages > 0, "phase 1 silent");

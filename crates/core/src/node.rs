@@ -30,6 +30,7 @@ use fnp_dcnet::slot::SlotOutcome;
 use fnp_netsim::{Context, NodeId, ProtocolNode};
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Timer tag for DC-net round pacing.
 const TIMER_DC_ROUND: u64 = 1;
@@ -37,15 +38,20 @@ const TIMER_DC_ROUND: u64 = 1;
 const TIMER_AD_ROUND: u64 = 2;
 
 /// Static description of the DC-net group a node belongs to.
+///
+/// The member list and identity table are identical for every member of a
+/// group, so they are reference-counted and shared between the `k`
+/// memberships instead of deep-copied `k` times at setup.
 #[derive(Debug)]
 pub struct GroupMembership {
-    /// The group members' overlay node ids, sorted ascending.
-    pub members: Vec<NodeId>,
+    /// The group members' overlay node ids, sorted ascending (shared
+    /// between all members of the group).
+    pub members: Rc<[NodeId]>,
     /// This node's index within `members`.
     pub own_index: usize,
     /// The members' public identities (same order as `members`), used for
-    /// the virtual-source election.
-    pub identities: Vec<Identity>,
+    /// the virtual-source election (shared between all members).
+    pub identities: Rc<[Identity]>,
     /// The keyed DC-net participant holding the pairwise pad generators.
     pub participant: KeyedParticipant,
 }
@@ -141,7 +147,7 @@ impl FlexNode {
     pub fn group_members(&self) -> &[NodeId] {
         self.group
             .as_ref()
-            .map(|group| group.members.as_slice())
+            .map(|group| &group.members[..])
             .unwrap_or(&[])
     }
 
@@ -225,8 +231,7 @@ impl FlexNode {
             .or_default()
             .insert(group.own_index, contribution.clone());
         let own_index = group.own_index;
-        let members = group.members.clone();
-        for (index, member) in members.iter().enumerate() {
+        for (index, member) in group.members.iter().enumerate() {
             if index == own_index {
                 continue;
             }

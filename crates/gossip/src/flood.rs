@@ -144,7 +144,7 @@ mod tests {
     fn only_flood_kind_messages_are_sent() {
         let graph = topology::ring(10).unwrap();
         let metrics = run_flood(graph, NodeId::new(0), 1, SimConfig::default());
-        assert_eq!(metrics.messages_by_kind.len(), 1);
+        assert_eq!(metrics.messages_by_kind().len(), 1);
         assert!(metrics.messages_of_kind("flood") > 0);
         assert_eq!(metrics.bytes_sent, metrics.messages_sent * 256);
     }

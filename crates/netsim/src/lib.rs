@@ -19,10 +19,13 @@
 //!   adversary estimators replay.
 //! * [`stats`] — means, percentiles and entropy helpers for experiment
 //!   reports.
+//! * [`runner`] — the parallel trial engine: fans independent seeded runs
+//!   out over scoped worker threads with results in deterministic plan
+//!   order.
 //!
 //! The simulator is single-threaded and deterministic under a fixed
 //! [`SimConfig::seed`]; experiment harnesses parallelise across *runs*, not
-//! within them.
+//! within them, via [`TrialRunner`].
 //!
 //! # Example: plain flooding on a random regular overlay
 //!
@@ -74,6 +77,7 @@ pub mod latency;
 pub mod message;
 pub mod metrics;
 pub mod node;
+pub mod runner;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -83,8 +87,9 @@ pub use churn::{ChurnSchedule, NodeOutage};
 pub use graph::Graph;
 pub use latency::LatencyModel;
 pub use message::{Payload, TestPayload};
-pub use metrics::{Metrics, TraceEntry};
+pub use metrics::{KindId, KindRegistry, Metrics, TraceEntry};
 pub use node::NodeId;
+pub use runner::{derive_seed, TrialPlan, TrialRunner};
 pub use sim::{Context, ProtocolNode, SimConfig, Simulator};
 pub use stats::{entropy_bits, percentile, summarize, Summary};
 pub use time::{as_millis, from_millis, SimTime, MILLISECOND, SECOND};

@@ -7,6 +7,19 @@
 //! adversary would blame (privacy, §V-B). [`Metrics`] collects the first
 //! three; the optional [`TraceEntry`] log captures the full transmission
 //! trace that the `fnp-adversary` estimators replay.
+//!
+//! # Interned kind accounting
+//!
+//! Per-send accounting is on the simulator's hottest path: every
+//! transmission bumps a per-kind message and byte counter. Kinds are
+//! `&'static str` labels, but a `BTreeMap<&'static str, u64>` lookup per
+//! send costs string comparisons and pointer chasing. Instead, a
+//! [`KindRegistry`] interns each label into a dense [`KindId`] on first
+//! use (pointer-equality fast path — same literal, same `&'static str`),
+//! and the counters live in plain `Vec<u64>`s indexed by id. The map-shaped
+//! API ([`Metrics::messages_by_kind`] etc.) is preserved as views built on
+//! demand, so report-generation code is unchanged while the per-send cost
+//! drops to an array increment.
 
 use crate::node::NodeId;
 use crate::time::SimTime;
@@ -32,6 +45,145 @@ pub struct TraceEntry {
     pub bytes: usize,
 }
 
+/// A dense index identifying one interned message-kind label.
+///
+/// Ids are assigned in first-use order by a [`KindRegistry`] and are only
+/// meaningful together with the registry that produced them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KindId(u32);
+
+impl KindId {
+    /// The position of this kind in its registry (and in any counter vector
+    /// indexed by it).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns `&'static str` kind labels into dense [`KindId`]s.
+///
+/// An experiment uses a handful of distinct kinds (typically fewer than
+/// ten), so the registry is a small vector scanned linearly with a
+/// pointer-equality fast path: two uses of the same string literal share
+/// the same `&'static str` address, making the common case a few pointer
+/// compares instead of string comparisons or tree walks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KindRegistry {
+    names: Vec<&'static str>,
+}
+
+impl KindRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `name`, interning it on first use.
+    pub fn intern(&mut self, name: &'static str) -> KindId {
+        // Fast path: same literal ⇒ same address.
+        for (index, &known) in self.names.iter().enumerate() {
+            if std::ptr::eq(known, name) {
+                return KindId(index as u32);
+            }
+        }
+        // Slow path: distinct statics with equal contents still map to one id.
+        for (index, &known) in self.names.iter().enumerate() {
+            if known == name {
+                return KindId(index as u32);
+            }
+        }
+        let id = KindId(self.names.len() as u32);
+        self.names.push(name);
+        id
+    }
+
+    /// Looks up an already-interned kind by content (no interning).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<KindId> {
+        self.names
+            .iter()
+            .position(|&known| known == name)
+            .map(|index| KindId(index as u32))
+    }
+
+    /// The label of an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not come from this registry.
+    #[must_use]
+    pub fn name(&self, id: KindId) -> &'static str {
+        self.names[id.index()]
+    }
+
+    /// Number of interned kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no kind has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned labels in id order.
+    #[must_use]
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+}
+
+/// Grows `values` to cover `id` and adds `amount` to its slot.
+fn bump(values: &mut Vec<u64>, id: KindId, amount: u64) {
+    if id.index() >= values.len() {
+        values.resize(id.index() + 1, 0);
+    }
+    values[id.index()] += amount;
+}
+
+/// A registry plus one `u64` counter per interned name.
+#[derive(Clone, Debug, Default)]
+struct KindCounters {
+    registry: KindRegistry,
+    values: Vec<u64>,
+}
+
+impl KindCounters {
+    fn add(&mut self, name: &'static str, amount: u64) -> KindId {
+        let id = self.registry.intern(name);
+        bump(&mut self.values, id, amount);
+        id
+    }
+
+    fn add_by_id(&mut self, id: KindId, amount: u64) {
+        bump(&mut self.values, id, amount);
+    }
+
+    fn get(&self, name: &str) -> u64 {
+        // A kind can be interned without ever being counted (a broadcast
+        // whose targets were all excluded); treat the missing slot as 0
+        // exactly like an unknown kind.
+        self.registry
+            .get(name)
+            .and_then(|id| self.values.get(id.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn as_map(&self) -> BTreeMap<&'static str, u64> {
+        self.registry
+            .names()
+            .iter()
+            .zip(&self.values)
+            .map(|(&name, &value)| (name, value))
+            .collect()
+    }
+}
+
 /// Aggregated counters for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -39,12 +191,13 @@ pub struct Metrics {
     pub messages_sent: u64,
     /// Total bytes transmitted (as reported by the payloads).
     pub bytes_sent: u64,
-    /// Messages grouped by payload kind.
-    pub messages_by_kind: BTreeMap<&'static str, u64>,
-    /// Bytes grouped by payload kind.
-    pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Messages grouped by interned payload kind.
+    messages_per_kind: KindCounters,
+    /// Bytes grouped by interned payload kind (same registry/order as
+    /// `messages_per_kind`).
+    bytes_per_kind: Vec<u64>,
     /// Custom protocol counters recorded via `Context::record`.
-    pub counters: BTreeMap<&'static str, u64>,
+    custom: KindCounters,
     /// For each node, the time it first marked the broadcast as delivered.
     pub delivered_at: Vec<Option<SimTime>>,
     /// Complete transmission trace (only populated when tracing is enabled).
@@ -64,12 +217,25 @@ impl Metrics {
         }
     }
 
-    /// Records one transmission.
-    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) {
+    /// Records one transmission, returning the interned kind id.
+    pub(crate) fn record_send(&mut self, kind: &'static str, bytes: usize) -> KindId {
+        let id = self.intern_kind(kind);
+        self.record_send_id(id, bytes);
+        id
+    }
+
+    /// Records one transmission of an already-interned kind.
+    pub(crate) fn record_send_id(&mut self, id: KindId, bytes: usize) {
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
-        *self.messages_by_kind.entry(kind).or_insert(0) += 1;
-        *self.bytes_by_kind.entry(kind).or_insert(0) += bytes as u64;
+        self.messages_per_kind.add_by_id(id, 1);
+        bump(&mut self.bytes_per_kind, id, bytes as u64);
+    }
+
+    /// Interns `kind` without recording a send (used by the simulator to
+    /// hoist interning out of fan-out loops).
+    pub(crate) fn intern_kind(&mut self, kind: &'static str) -> KindId {
+        self.messages_per_kind.registry.intern(kind)
     }
 
     /// Records the first delivery time of the broadcast at `node`.
@@ -82,7 +248,48 @@ impl Metrics {
 
     /// Increments a custom counter.
     pub(crate) fn record_counter(&mut self, name: &'static str, amount: u64) {
-        *self.counters.entry(name).or_insert(0) += amount;
+        self.custom.add(name, amount);
+    }
+
+    /// The registry of message kinds seen so far, in first-use order.
+    pub fn kinds(&self) -> &KindRegistry {
+        &self.messages_per_kind.registry
+    }
+
+    /// Messages grouped by payload kind (view, built on demand).
+    ///
+    /// Only kinds that were actually transmitted appear — a kind interned
+    /// by a fully-excluded broadcast does not get a phantom zero entry.
+    pub fn messages_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        self.messages_per_kind
+            .registry
+            .names()
+            .iter()
+            .zip(&self.messages_per_kind.values)
+            .filter(|&(_, &count)| count > 0)
+            .map(|(&name, &count)| (name, count))
+            .collect()
+    }
+
+    /// Bytes grouped by payload kind (view, built on demand; same key set
+    /// as [`Metrics::messages_by_kind`], including kinds whose payloads
+    /// report zero bytes).
+    pub fn bytes_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        self.messages_per_kind
+            .registry
+            .names()
+            .iter()
+            .zip(&self.messages_per_kind.values)
+            .zip(&self.bytes_per_kind)
+            .filter(|&((_, &count), _)| count > 0)
+            .map(|((&name, _), &bytes)| (name, bytes))
+            .collect()
+    }
+
+    /// Custom protocol counters recorded via `Context::record` (view, built
+    /// on demand).
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        self.custom.as_map()
     }
 
     /// Number of nodes that have received the broadcast.
@@ -123,12 +330,22 @@ impl Metrics {
 
     /// Messages of one kind (0 if the kind never occurred).
     pub fn messages_of_kind(&self, kind: &str) -> u64 {
-        self.messages_by_kind.get(kind).copied().unwrap_or(0)
+        self.messages_per_kind.get(kind)
+    }
+
+    /// Bytes of one kind (0 if the kind never occurred).
+    pub fn bytes_of_kind(&self, kind: &str) -> u64 {
+        self.messages_per_kind
+            .registry
+            .get(kind)
+            .and_then(|id| self.bytes_per_kind.get(id.index()))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Value of a custom counter (0 if never recorded).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.custom.get(name)
     }
 }
 
@@ -145,6 +362,10 @@ mod tests {
         assert_eq!(m.time_to_coverage(0.5), None);
         assert_eq!(m.messages_of_kind("flood"), 0);
         assert_eq!(m.counter("whatever"), 0);
+        assert!(m.messages_by_kind().is_empty());
+        assert!(m.bytes_by_kind().is_empty());
+        assert!(m.counters().is_empty());
+        assert!(m.kinds().is_empty());
     }
 
     #[test]
@@ -157,7 +378,10 @@ mod tests {
         assert_eq!(m.bytes_sent, 250);
         assert_eq!(m.messages_of_kind("flood"), 2);
         assert_eq!(m.messages_of_kind("stem"), 1);
-        assert_eq!(m.bytes_by_kind["flood"], 200);
+        assert_eq!(m.bytes_by_kind()["flood"], 200);
+        assert_eq!(m.bytes_of_kind("flood"), 200);
+        assert_eq!(m.bytes_of_kind("stem"), 50);
+        assert_eq!(m.bytes_of_kind("absent"), 0);
     }
 
     #[test]
@@ -193,6 +417,7 @@ mod tests {
         m.record_counter("dc-collision", 1);
         m.record_counter("dc-collision", 2);
         assert_eq!(m.counter("dc-collision"), 3);
+        assert_eq!(m.counters()["dc-collision"], 3);
     }
 
     #[test]
@@ -200,5 +425,127 @@ mod tests {
         let m = Metrics::new(0);
         assert_eq!(m.coverage(), 0.0);
         assert_eq!(m.time_to_coverage(0.5), None);
+    }
+
+    #[test]
+    fn registry_assigns_dense_ids_in_first_use_order() {
+        let mut reg = KindRegistry::new();
+        let a = reg.intern("alpha");
+        let b = reg.intern("beta");
+        let a2 = reg.intern("alpha");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(a, a2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(a), "alpha");
+        assert_eq!(reg.name(b), "beta");
+        assert_eq!(reg.get("beta"), Some(b));
+        assert_eq!(reg.get("gamma"), None);
+        assert_eq!(reg.names(), &["alpha", "beta"]);
+    }
+
+    #[test]
+    fn registry_unifies_distinct_statics_with_equal_contents() {
+        // Two statics with the same content but (potentially) different
+        // addresses must intern to the same id — the slow path.
+        static A: &str = "same";
+        let runtime: &'static str = Box::leak("same".to_string().into_boxed_str());
+        let mut reg = KindRegistry::new();
+        let a = reg.intern(A);
+        let b = reg.intern(runtime);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn map_views_match_pre_refactor_btreemap_semantics() {
+        // The pre-refactor `Metrics` exposed public BTreeMap fields; the
+        // views must produce the same sorted key order, the same sums, and
+        // the same 0 fallback for unknown kinds.
+        let mut m = Metrics::new(2);
+        let mut reference_msgs: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut reference_bytes: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (kind, bytes) in [
+            ("zeta", 10),
+            ("alpha", 20),
+            ("zeta", 30),
+            ("mid", 5),
+            ("alpha", 1),
+        ] {
+            m.record_send(kind, bytes);
+            *reference_msgs.entry(kind).or_insert(0) += 1;
+            *reference_bytes.entry(kind).or_insert(0) += bytes as u64;
+        }
+        assert_eq!(m.messages_by_kind(), reference_msgs);
+        assert_eq!(m.bytes_by_kind(), reference_bytes);
+        // Sorted iteration order, exactly like the old public field.
+        let keys: Vec<&str> = m.messages_by_kind().keys().copied().collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+        // Unknown kinds fall back to 0 through every accessor.
+        assert_eq!(m.messages_of_kind("nope"), 0);
+        assert_eq!(m.bytes_of_kind("nope"), 0);
+        assert_eq!(m.counter("nope"), 0);
+        assert_eq!(m.messages_by_kind().get("nope"), None);
+    }
+
+    #[test]
+    fn interned_but_unsent_kinds_stay_invisible() {
+        // A broadcast whose targets are all excluded interns the kind
+        // without recording a send. Every accessor must behave exactly as
+        // if the kind were unknown: no panic, no phantom zero entries.
+        let mut m = Metrics::new(2);
+        m.intern_kind("ghost");
+        assert_eq!(m.messages_of_kind("ghost"), 0);
+        assert_eq!(m.bytes_of_kind("ghost"), 0);
+        assert!(m.messages_by_kind().is_empty());
+        assert!(m.bytes_by_kind().is_empty());
+        // Recording a different kind afterwards (which resizes the counter
+        // vectors past the ghost's index) must not resurrect it.
+        m.record_send("real", 10);
+        assert_eq!(m.messages_of_kind("ghost"), 0);
+        assert_eq!(m.bytes_of_kind("ghost"), 0);
+        assert_eq!(m.messages_by_kind().len(), 1);
+        assert_eq!(m.bytes_by_kind().len(), 1);
+        assert_eq!(m.messages_by_kind()["real"], 1);
+        // The ghost becomes visible the moment it is genuinely sent.
+        m.record_send("ghost", 5);
+        assert_eq!(m.messages_of_kind("ghost"), 1);
+        assert_eq!(m.bytes_by_kind()["ghost"], 5);
+    }
+
+    #[test]
+    fn zero_byte_sends_still_appear_in_byte_views() {
+        let mut m = Metrics::new(1);
+        m.record_send("empty", 0);
+        assert_eq!(m.messages_of_kind("empty"), 1);
+        assert_eq!(m.bytes_by_kind()["empty"], 0);
+        assert_eq!(m.bytes_of_kind("empty"), 0);
+    }
+
+    #[test]
+    fn record_send_id_matches_record_send() {
+        let mut by_name = Metrics::new(1);
+        by_name.record_send("x", 7);
+        by_name.record_send("x", 7);
+
+        let mut by_id = Metrics::new(1);
+        let id = by_id.intern_kind("x");
+        by_id.record_send_id(id, 7);
+        by_id.record_send_id(id, 7);
+
+        assert_eq!(by_name.messages_by_kind(), by_id.messages_by_kind());
+        assert_eq!(by_name.bytes_by_kind(), by_id.bytes_by_kind());
+        assert_eq!(by_name.messages_sent, by_id.messages_sent);
+        assert_eq!(by_name.bytes_sent, by_id.bytes_sent);
+    }
+
+    #[test]
+    fn cloned_metrics_preserve_interned_state() {
+        let mut m = Metrics::new(1);
+        m.record_send("a", 1);
+        m.record_counter("c", 4);
+        let clone = m.clone();
+        assert_eq!(clone.messages_by_kind(), m.messages_by_kind());
+        assert_eq!(clone.counters(), m.counters());
     }
 }

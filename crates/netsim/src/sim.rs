@@ -55,6 +55,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -106,10 +107,26 @@ pub struct Context<'a, M> {
 
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: NodeId, message: M },
-    Timer { delay: SimTime, tag: u64 },
+    Send {
+        to: NodeId,
+        message: M,
+    },
+    /// One message fanned out to every neighbour not in `excluded`; the
+    /// payload is shared (reference-counted) between the in-flight copies
+    /// instead of deep-cloned per target.
+    Broadcast {
+        message: M,
+        excluded: Vec<NodeId>,
+    },
+    Timer {
+        delay: SimTime,
+        tag: u64,
+    },
     Deliver,
-    Counter { name: &'static str, amount: u64 },
+    Counter {
+        name: &'static str,
+        amount: u64,
+    },
 }
 
 impl<'a, M> Context<'a, M> {
@@ -148,21 +165,22 @@ impl<'a, M> Context<'a, M> {
         self.actions.push(Action::Send { to, message });
     }
 
-    /// Sends a clone of `message` to every overlay neighbour except those in
+    /// Sends `message` to every overlay neighbour except those in
     /// `excluded`.
+    ///
+    /// The payload is *shared* between the in-flight copies: the simulator
+    /// queues one reference-counted instance and only clones it at delivery
+    /// time when a recipient other than the last needs ownership, so a
+    /// degree-`d` fan-out costs `d − 1` clones instead of `d` and keeps a
+    /// single copy in the event queue.
     pub fn send_to_neighbors_except(&mut self, message: M, excluded: &[NodeId])
     where
         M: Clone,
     {
-        let targets: Vec<NodeId> = self
-            .neighbors
-            .iter()
-            .copied()
-            .filter(|n| !excluded.contains(n))
-            .collect();
-        for target in targets {
-            self.send(target, message.clone());
-        }
+        self.actions.push(Action::Broadcast {
+            message,
+            excluded: excluded.to_vec(),
+        });
     }
 
     /// Schedules [`ProtocolNode::on_timer`] on this node after `delay`.
@@ -218,12 +236,33 @@ pub trait ProtocolNode: Sized {
     }
 }
 
+/// An in-flight payload: owned for point-to-point sends, reference-counted
+/// for fan-outs so the queue holds one copy regardless of the target count.
+#[derive(Debug)]
+enum PayloadSlot<M> {
+    Owned(M),
+    Shared(Rc<M>),
+}
+
+impl<M: Clone> PayloadSlot<M> {
+    /// Takes ownership of the payload, cloning only when other in-flight
+    /// copies still share it (the last recipient gets the original).
+    fn into_message(self) -> M {
+        match self {
+            PayloadSlot::Owned(message) => message,
+            PayloadSlot::Shared(shared) => {
+                Rc::try_unwrap(shared).unwrap_or_else(|shared| (*shared).clone())
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 enum EventKind<M> {
     Deliver {
         from: NodeId,
         to: NodeId,
-        message: M,
+        message: PayloadSlot<M>,
         bytes: usize,
         kind: &'static str,
     },
@@ -391,11 +430,47 @@ impl<N: ProtocolNode> Simulator<N> {
                             kind: EventKind::Deliver {
                                 from: node,
                                 to,
-                                message,
+                                message: PayloadSlot::Owned(message),
                                 bytes,
                                 kind,
                             },
                         });
+                    }
+                }
+                Action::Broadcast { message, excluded } => {
+                    let kind = message.kind();
+                    let bytes = message.size_bytes();
+                    let kind_id = self.metrics.intern_kind(kind);
+                    let shared = Rc::new(message);
+                    // The loop iterates the neighbor slice in place (the
+                    // whole point is not to allocate a target list), which
+                    // keeps `self.graph` borrowed — so `&mut self` helpers
+                    // like next_seq()/push_event() are unavailable here and
+                    // the seq bump and queue push are written out on the
+                    // disjoint fields directly. They must stay equivalent
+                    // to the helpers used by the Send arm above.
+                    for &to in self.graph.neighbors(node) {
+                        if excluded.contains(&to) {
+                            continue;
+                        }
+                        let delay = self.config.latency.sample(node, to, &mut self.rng);
+                        let at = self.now.saturating_add(delay);
+                        self.metrics.record_send_id(kind_id, bytes);
+                        if at <= self.config.max_time {
+                            let seq = self.seq;
+                            self.seq += 1;
+                            self.queue.push(Reverse(Event {
+                                at,
+                                seq,
+                                kind: EventKind::Deliver {
+                                    from: node,
+                                    to,
+                                    message: PayloadSlot::Shared(Rc::clone(&shared)),
+                                    bytes,
+                                    kind,
+                                },
+                            }));
+                        }
                     }
                 }
                 Action::Timer { delay, tag } => {
@@ -463,6 +538,7 @@ impl<N: ProtocolNode> Simulator<N> {
                         bytes,
                     });
                 }
+                let message = message.into_message();
                 self.dispatch(to, |node, ctx| node.on_message(from, message, ctx));
             }
             EventKind::Timer { node, tag } => {
@@ -704,6 +780,28 @@ mod tests {
         let metrics = sim.run();
         assert_eq!(metrics.counter("last-timer"), 1);
         assert_eq!(sim.node(NodeId::new(0)).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fully_excluded_broadcast_leaves_no_trace_of_the_kind() {
+        // A broadcast with no eligible targets must not create phantom
+        // metrics entries for its (never actually sent) kind.
+        struct LonelyNode;
+        impl ProtocolNode for LonelyNode {
+            type Message = TestPayload;
+            fn on_init(&mut self, ctx: &mut Context<'_, TestPayload>) {
+                ctx.send_to_neighbors_except(TestPayload::new("lonely", 9), &[]);
+            }
+            fn on_message(&mut self, _: NodeId, _: TestPayload, _: &mut Context<'_, TestPayload>) {}
+        }
+        // A single isolated node: no neighbours, so the fan-out is empty.
+        let mut sim = Simulator::new(Graph::new(1), vec![LonelyNode], SimConfig::default());
+        let metrics = sim.run();
+        assert_eq!(metrics.messages_sent, 0);
+        assert_eq!(metrics.messages_of_kind("lonely"), 0);
+        assert_eq!(metrics.bytes_of_kind("lonely"), 0);
+        assert!(metrics.messages_by_kind().is_empty());
+        assert!(metrics.bytes_by_kind().is_empty());
     }
 
     #[test]
