@@ -1,12 +1,15 @@
-//! Produces `BENCH_baseline.json`: the first point of the repo's recorded
-//! perf trajectory.
+//! Maintains `BENCH_baseline.json`: the repo's recorded perf trajectory.
 //!
 //! Runs a fixed, small `fig1_landscape`-sized workload twice — once
 //! single-threaded, once on 4 worker threads — verifies that both runs
 //! produce byte-identical rows (the `TrialRunner` determinism contract),
-//! and writes both wall-clock timings plus the speedup into one snapshot
-//! file. Later perf PRs re-run this binary and compare against the
-//! committed snapshot.
+//! and **appends** one trajectory entry (keyed by git revision, host info
+//! and workload params; re-running the same key updates that entry in
+//! place) with both wall-clock timings plus the speedup. Earlier entries
+//! are preserved, so the file accumulates one point per perf PR instead of
+//! remembering only the latest; a pre-trajectory single-snapshot file is
+//! migrated into entry 0 on first contact. See `docs/BENCHMARKING.md` for
+//! the recording procedure.
 //!
 //! Usage: `bench_baseline [--json <path>] [--threads <n>] [--n <nodes>]
 //! [--runs <r>]` — `--threads` sets the parallel leg's worker count
@@ -16,10 +19,86 @@
 use fnp_bench::cli::BinArgs;
 use fnp_bench::json::Json;
 use fnp_bench::TrialRunner;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const DEFAULT_PARALLEL_THREADS: usize = 4;
+
+/// Short git revision of the working tree (with a `-dirty` suffix when
+/// uncommitted changes produced the numbers), or `"unknown"` outside a git
+/// checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|output| output.status.success())
+        .and_then(|output| String::from_utf8(output.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Loads the existing trajectory from `path`, migrating the pre-trajectory
+/// single-snapshot layout into entry 0. A missing file starts an empty
+/// trajectory; an unreadable or unrecognisable one **aborts** — the whole
+/// point of this binary is to preserve the recorded history, so it must
+/// never rewrite a file it could not fully understand.
+fn load_trajectory(path: &Path) -> Vec<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => return Vec::new(),
+        Err(error) => {
+            eprintln!("error: cannot read {}: {error}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let document = Json::parse(&text).unwrap_or_else(|error| {
+        eprintln!(
+            "error: {} is not valid JSON ({error}); refusing to overwrite the recorded \
+             trajectory — fix the file (or deliberately delete it) and re-run",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    match document.get("trajectory") {
+        Some(Json::Arr(entries)) => entries.clone(),
+        Some(_) => {
+            eprintln!(
+                "error: the \"trajectory\" key of {} is not an array; refusing to overwrite \
+                 the recorded history — fix the file and re-run",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        // Old single-snapshot format (no trajectory, but an experiment
+        // header): keep it as the first point.
+        None if document.get("experiment").is_some() => {
+            eprintln!("migrating pre-trajectory {} into entry 0", path.display());
+            vec![document]
+        }
+        None => {
+            eprintln!(
+                "error: {} has neither a \"trajectory\" nor an \"experiment\" key; refusing to \
+                 overwrite it — move the file aside and re-run",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash, used to pin the (deterministic) result rows at
+/// constant size instead of embedding the full row payload in every
+/// trajectory entry.
+fn fnv1a64(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 fn main() {
     let args = BinArgs::parse();
@@ -72,9 +151,18 @@ fn main() {
     println!("{parallel_threads} threads : {parallel_ms:>10.1} ms  (speedup {speedup:.2}x on {host_threads} host cores)");
     println!("rows: byte-identical across thread counts");
 
-    let report = Json::obj([
-        ("experiment", Json::from("bench_baseline")),
-        ("workload", Json::from("fig1_landscape")),
+    let entry = Json::obj([
+        ("git_rev", Json::from(git_rev())),
+        (
+            "host",
+            Json::obj([
+                ("os", Json::from(std::env::consts::OS)),
+                ("arch", Json::from(std::env::consts::ARCH)),
+                ("threads", Json::from(host_threads)),
+            ]),
+        ),
+        // The simulator storage layout this point was recorded with.
+        ("layout", Json::from("soa-arena-grid")),
         (
             "params",
             Json::obj([
@@ -87,15 +175,48 @@ fn main() {
                 ("base_seed", Json::from(base_seed)),
             ]),
         ),
-        ("host_threads", Json::from(host_threads)),
         ("sequential_wall_clock_ms", Json::from(sequential_ms)),
         ("parallel_threads", Json::from(parallel_threads)),
         ("parallel_wall_clock_ms", Json::from(parallel_ms)),
         ("speedup", Json::from(speedup)),
         ("rows_identical", Json::from(true)),
-        ("rows", Json::rows(&sequential_rows)),
+        // The rows themselves are deterministic and regenerable at any
+        // revision; a digest pins byte-identity at constant file size.
+        (
+            "rows_fnv1a64",
+            Json::from(format!("{:016x}", fnv1a64(&sequential_json))),
+        ),
+    ]);
+
+    let mut trajectory = load_trajectory(&path);
+    // Entries are keyed by (git_rev, host, params): re-running the same
+    // workload at the same revision on the same host updates that point in
+    // place instead of accumulating duplicates while iterating on a
+    // change, while a run with overridden --n/--runs records its own point.
+    let key = |e: &Json| {
+        (
+            e.get("git_rev").cloned(),
+            e.get("host").cloned(),
+            e.get("params").cloned(),
+        )
+    };
+    let entry_key = key(&entry);
+    if let Some(existing) = trajectory
+        .iter_mut()
+        .find(|e| e.get("git_rev").is_some() && key(e) == entry_key)
+    {
+        eprintln!("updating existing trajectory entry for this (git_rev, host, params)");
+        *existing = entry;
+    } else {
+        trajectory.push(entry);
+    }
+    let points = trajectory.len();
+    let report = Json::obj([
+        ("experiment", Json::from("bench_baseline")),
+        ("workload", Json::from("fig1_landscape")),
+        ("trajectory", Json::Arr(trajectory)),
     ]);
     std::fs::write(&path, report.to_pretty_string())
         .unwrap_or_else(|error| panic!("failed to write {}: {error}", path.display()));
-    println!("wrote {}", path.display());
+    println!("wrote {} ({points} trajectory points)", path.display());
 }

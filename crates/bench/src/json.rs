@@ -11,6 +11,11 @@
 //! except the timing must be byte-identical across invocations. Rust's
 //! default float formatting (shortest round-trip representation) provides
 //! exactly that.
+//!
+//! The module also provides a small recursive-descent parser
+//! ([`Json::parse`]) so that `bench_baseline` can read the committed
+//! `BENCH_baseline.json` trajectory back and *append* to it instead of
+//! clobbering it.
 
 use std::fmt;
 use std::io::Write as _;
@@ -164,6 +169,324 @@ impl Json {
         self.write_pretty(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Numbers with neither fraction nor exponent parse as
+    /// [`Json::Int`]/[`Json::UInt`] (matching what the printer emits);
+    /// everything else numeric becomes [`Json::Num`]. A round-trip through
+    /// [`Json::to_pretty_string`] and back is lossless for every value this
+    /// module can print.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the offending byte offset for
+    /// malformed input (including trailing garbage after the document).
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON document"));
+        }
+        Ok(value)
+    }
+
+    /// Borrowing lookup of an object key (`None` for non-objects and
+    /// missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|(_, value)| value),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(value) => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by [`Json::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {text:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let unit = self.hex_unit()?;
+                            let code_point = match unit {
+                                // High surrogate: must pair with a low one
+                                // to form a supplementary code point.
+                                0xd800..=0xdbff => {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(self.error("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex_unit()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                                }
+                                0xdc00..=0xdfff => return Err(self.error("unpaired low surrogate")),
+                                scalar => scalar,
+                            };
+                            out.push(
+                                char::from_u32(code_point)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(
+                                self.error(format!("unsupported escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(byte);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parses the four hex digits of a `\u` escape (the `\u` itself already
+    /// consumed), returning the UTF-16 code unit.
+    fn hex_unit(&mut self) -> Result<u32, ParseError> {
+        let unit = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    /// Consumes a non-empty digit run, erroring on an empty one (JSON
+    /// requires at least one digit in every numeric component).
+    fn digits(&mut self, part: &str) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error(format!("expected digits in number {part}")));
+        }
+        Ok(self.pos - start)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let leading_zero = self.peek() == Some(b'0');
+        let integer_digits = self.digits("integer part")?;
+        if leading_zero && integer_digits > 1 {
+            return Err(self.error("leading zeros are not valid JSON"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            self.digits("fraction")?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits("exponent")?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans ASCII bytes only");
+        if integral {
+            if let Ok(value) = text.parse::<u64>() {
+                return Ok(Json::UInt(value));
+            }
+            if let Ok(value) = text.parse::<i64>() {
+                return Ok(Json::Int(value));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error(format!("invalid number {text:?}")))
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by `first` (1 for ASCII).
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
     }
 }
 
@@ -459,6 +782,93 @@ mod tests {
         let b = Json::rows(&rows).to_pretty_string();
         assert_eq!(a, b);
         assert!(a.contains("\"group_size\": 3"));
+    }
+
+    #[test]
+    fn parse_roundtrips_everything_the_printer_emits() {
+        let value = Json::obj([
+            ("null", Json::Null),
+            ("flag", Json::from(true)),
+            ("off", Json::from(false)),
+            ("uint", Json::from(18_446_744_073_709_551_615u64)),
+            ("int", Json::from(-42i64)),
+            ("float", Json::from(0.125)),
+            ("tricky", Json::from("a\"b\\c\nd\te\u{1}ü")),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([("k", Json::from(3u64))]),
+                    Json::Arr(vec![]),
+                ]),
+            ),
+            ("empty", Json::obj::<&str, Json>([])),
+        ]);
+        let text = value.to_pretty_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, value);
+        // And printing the parse yields the identical document again.
+        assert_eq!(parsed.to_pretty_string(), text);
+    }
+
+    #[test]
+    fn parse_handles_compact_and_exponent_forms() {
+        let parsed = Json::parse(r#"{"a":[1,2.5,-3,1e3],"b":{"c":null}}"#).unwrap();
+        assert_eq!(
+            parsed.get("a"),
+            Some(&Json::Arr(vec![
+                Json::UInt(1),
+                Json::Num(2.5),
+                Json::Int(-3),
+                Json::Num(1000.0),
+            ]))
+        );
+        assert_eq!(parsed.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+        assert_eq!(parsed.get("missing"), None);
+        assert_eq!(Json::from("x").as_str(), Some("x"));
+        assert_eq!(Json::Null.as_str(), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1}extra",
+            "\"bad \\q escape\"",
+            // Non-JSON numeric forms must be rejected, not normalised.
+            "1.",
+            ".5",
+            "5e",
+            "01",
+            "-01",
+            "-",
+            "2.e3",
+            // Lone or mismatched surrogates.
+            "\"\\ud83d\"",
+            "\"\\ud83d x\"",
+            "\"\\udc00\"",
+            "\"\\ud83d\\ud83d\"",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_decodes_surrogate_pairs() {
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::from("\u{1f600}")
+        );
+        assert_eq!(Json::parse("\"\\u00fc\"").unwrap(), Json::from("ü"));
+        // Strict number forms still parse.
+        assert_eq!(Json::parse("0").unwrap(), Json::UInt(0));
+        assert_eq!(Json::parse("-0.5e+2").unwrap(), Json::Num(-50.0));
     }
 
     #[test]

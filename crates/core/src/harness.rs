@@ -18,7 +18,7 @@ use fnp_dcnet::keyed::KeyedParticipant;
 use fnp_diffusion::{AdParams, AdaptiveDiffusionNode};
 use fnp_gossip::{DandelionParams, StemLine};
 use fnp_groups::{form_groups, FormationError, Group};
-use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator};
+use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator, TrialArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -177,6 +177,31 @@ pub fn run_flexible_broadcast(
     config: FlexConfig,
     sim_config: SimConfig,
 ) -> Result<FlexReport, HarnessError> {
+    run_flexible_broadcast_in(
+        &mut TrialArena::new(),
+        graph,
+        origin,
+        payload,
+        config,
+        sim_config,
+    )
+}
+
+/// Like [`run_flexible_broadcast`], but reuses `arena`'s pooled simulator
+/// storage (recycle the report's [`Metrics`] via
+/// [`TrialArena::recycle_metrics`] once aggregated).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_flexible_broadcast`].
+pub fn run_flexible_broadcast_in(
+    arena: &mut TrialArena,
+    graph: Graph,
+    origin: NodeId,
+    payload: Vec<u8>,
+    config: FlexConfig,
+    sim_config: SimConfig,
+) -> Result<FlexReport, HarnessError> {
     config.validate()?;
     let n = graph.node_count();
     if origin.index() >= n {
@@ -199,18 +224,21 @@ pub fn run_flexible_broadcast(
         }
     }
 
-    let nodes: Vec<FlexNode> = memberships
-        .into_iter()
-        .map(|membership| FlexNode::new(config, membership))
-        .collect();
+    let mut nodes: Vec<FlexNode> = arena.take_nodes();
+    nodes.extend(
+        memberships
+            .into_iter()
+            .map(|membership| FlexNode::new(config, membership)),
+    );
 
     let mut traced_config = sim_config;
     traced_config.record_trace = true;
-    let mut sim = Simulator::new(graph, nodes, traced_config);
+    let mut sim = Simulator::new_in(arena, graph, nodes, traced_config);
     // `trigger` takes a `FnOnce`, so the payload can be moved in directly.
     sim.trigger(origin, |node, ctx| node.start_broadcast(payload, ctx));
     sim.run();
-    let (_, metrics) = sim.into_parts();
+    let (nodes, metrics) = sim.into_parts_in(arena);
+    arena.store_nodes(nodes);
     Ok(FlexReport::from_metrics(metrics, origin_group))
 }
 
@@ -252,29 +280,49 @@ pub fn run_protocol(
     origin: NodeId,
     sim_config: SimConfig,
 ) -> Result<Metrics, HarnessError> {
+    run_protocol_in(&mut TrialArena::new(), kind, graph, origin, sim_config)
+}
+
+/// Like [`run_protocol`], but reuses `arena`'s pooled simulator storage
+/// (recycle the returned [`Metrics`] via [`TrialArena::recycle_metrics`]
+/// once aggregated).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_protocol`].
+pub fn run_protocol_in(
+    arena: &mut TrialArena,
+    kind: ProtocolKind,
+    graph: Graph,
+    origin: NodeId,
+    sim_config: SimConfig,
+) -> Result<Metrics, HarnessError> {
     let mut traced = sim_config;
     traced.record_trace = true;
     match kind {
-        ProtocolKind::Flood => Ok(fnp_gossip::run_flood(graph, origin, 1, traced)),
+        ProtocolKind::Flood => Ok(fnp_gossip::run_flood_in(arena, graph, origin, 1, traced)),
         ProtocolKind::Dandelion(params) => {
             let mut rng = StdRng::seed_from_u64(traced.seed ^ 0xDA4D_E110_u64);
             let line = StemLine::random(graph.node_count(), &mut rng);
-            Ok(fnp_gossip::run_dandelion(graph, &line, origin, 1, params, traced).metrics)
+            Ok(
+                fnp_gossip::run_dandelion_in(arena, graph, &line, origin, 1, params, traced)
+                    .metrics,
+            )
         }
         ProtocolKind::AdaptiveDiffusion(params) => {
             let node_count = graph.node_count();
-            let nodes: Vec<AdaptiveDiffusionNode> = (0..node_count)
-                .map(|_| AdaptiveDiffusionNode::new(params))
-                .collect();
-            let mut sim = Simulator::new(graph, nodes, traced);
+            let mut nodes: Vec<AdaptiveDiffusionNode> = arena.take_nodes();
+            nodes.extend((0..node_count).map(|_| AdaptiveDiffusionNode::new(params)));
+            let mut sim = Simulator::new_in(arena, graph, nodes, traced);
             sim.trigger(origin, |node, ctx| node.start_broadcast(ctx));
             sim.run();
-            let (_, metrics) = sim.into_parts();
+            let (nodes, metrics) = sim.into_parts_in(arena);
+            arena.store_nodes(nodes);
             Ok(metrics)
         }
         ProtocolKind::Flexible(config) => {
             let payload = b"flexible broadcast payload".to_vec();
-            run_flexible_broadcast(graph, origin, payload, config, traced)
+            run_flexible_broadcast_in(arena, graph, origin, payload, config, traced)
                 .map(|report| report.metrics)
         }
     }

@@ -60,7 +60,8 @@ pub mod node;
 
 pub use config::{ConfigError, ElectionStrategy, FlexConfig};
 pub use harness::{
-    node_key_pair, run_flexible_broadcast, run_protocol, FlexReport, HarnessError, ProtocolKind,
+    node_key_pair, run_flexible_broadcast, run_flexible_broadcast_in, run_protocol,
+    run_protocol_in, FlexReport, HarnessError, ProtocolKind,
 };
 pub use message::{FlexMessage, PHASE1_KINDS, PHASE2_KINDS, PHASE3_KINDS};
 pub use node::{FlexNode, GroupMembership};

@@ -37,6 +37,11 @@ const TIMER_DC_ROUND: u64 = 1;
 /// Timer tag for adaptive-diffusion round pacing.
 const TIMER_AD_ROUND: u64 = 2;
 
+/// Phase-lane tag: the node has switched to flood-and-prune relaying
+/// (phase 3). Stored in the simulator's hot phase lane, not in the node
+/// struct, because nearly every handler consults it.
+const PHASE_FLOODING: u8 = 1;
+
 /// Static description of the DC-net group a node belongs to.
 ///
 /// The member list and identity table are identical for every member of a
@@ -76,13 +81,15 @@ struct DcState {
     injected_in: Option<u64>,
 }
 
-/// Phase-2 infection state.
+/// Phase-2 infection state (cold; the hot companions — the payload-seen
+/// flag, the flooding phase tag and the last processed spread round — live
+/// in the simulator's struct-of-arrays lanes, accessed through
+/// [`Context::seen`], [`Context::phase`] and [`Context::counter_lane`]).
 #[derive(Debug, Default, Clone)]
 struct AdState {
     parent: Option<NodeId>,
     children: Vec<NodeId>,
     token: Option<AdToken>,
-    last_spread_round: Option<u32>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,11 +106,11 @@ pub struct FlexNode {
     config: FlexConfig,
     group: Option<GroupMembership>,
     dc: DcState,
-    /// The transaction payload once this node knows it.
+    /// The transaction payload once this node knows it. Presence is
+    /// mirrored in the hot seen lane; handlers test [`Context::seen`]
+    /// instead of probing this option.
     payload: Option<Vec<u8>>,
     ad: AdState,
-    /// True once this node has started flood-and-prune relaying.
-    flooding: bool,
     /// True if this node originated the broadcast.
     is_origin: bool,
 }
@@ -118,7 +125,6 @@ impl FlexNode {
             dc: DcState::default(),
             payload: None,
             ad: AdState::default(),
-            flooding: false,
             is_origin: false,
         }
     }
@@ -138,11 +144,6 @@ impl FlexNode {
         self.ad.token.is_some()
     }
 
-    /// Whether this node has switched to flood-and-prune relaying.
-    pub fn is_flooding(&self) -> bool {
-        self.flooding
-    }
-
     /// The node's group members (empty if it belongs to no group).
     pub fn group_members(&self) -> &[NodeId] {
         self.group
@@ -159,6 +160,7 @@ impl FlexNode {
     /// anonymity, but delivery is preserved).
     pub fn start_broadcast(&mut self, payload: Vec<u8>, ctx: &mut Context<'_, FlexMessage>) {
         self.is_origin = true;
+        ctx.set_seen();
         self.payload = Some(payload.clone());
         self.deliver(ctx);
         if self.group.is_some() {
@@ -175,9 +177,10 @@ impl FlexNode {
         ctx.mark_delivered();
     }
 
-    /// Learns the payload (idempotent).
+    /// Learns the payload (idempotent). The duplicate case is decided by
+    /// the hot seen lane alone — no cold-state access.
     fn learn_payload(&mut self, payload: &[u8], ctx: &mut Context<'_, FlexMessage>) -> bool {
-        if self.payload.is_some() {
+        if ctx.set_seen() {
             return false;
         }
         self.payload = Some(payload.to_vec());
@@ -372,7 +375,7 @@ impl FlexNode {
             round: 0,
             received_from: None,
         });
-        self.ad.last_spread_round = Some(0);
+        ctx.mark_round_seen(0);
 
         // Immediately run the first diffusion expansion around the group,
         // then pace further rounds with the timer.
@@ -396,7 +399,7 @@ impl FlexNode {
         excluded: &[NodeId],
         ctx: &mut Context<'_, FlexMessage>,
     ) {
-        if self.flooding {
+        if ctx.phase() == PHASE_FLOODING {
             return;
         }
         let payload = self.payload_clone();
@@ -436,7 +439,7 @@ impl FlexNode {
         let Some(mut token) = self.ad.token.take() else {
             return;
         };
-        if self.flooding {
+        if ctx.phase() == PHASE_FLOODING {
             return;
         }
         token.t += 2;
@@ -467,7 +470,7 @@ impl FlexNode {
         if keep {
             ctx.record("flex-ad-keep");
             let round = token.round;
-            self.ad.last_spread_round = Some(round);
+            ctx.mark_round_seen(round);
             self.ad.token = Some(token);
             self.forward_spread(round, &[], ctx);
             self.grow_frontier(round, &[], ctx);
@@ -483,7 +486,7 @@ impl FlexNode {
                 .collect();
             if candidates.is_empty() {
                 let round = token.round;
-                self.ad.last_spread_round = Some(round);
+                ctx.mark_round_seen(round);
                 self.ad.token = Some(token);
                 self.forward_spread(round, &[], ctx);
                 self.grow_frontier(round, &[], ctx);
@@ -519,10 +522,10 @@ impl FlexNode {
     /// Switches this node to flood-and-prune and relays the transaction to
     /// its overlay neighbours (except `exclude`).
     fn start_flooding(&mut self, ctx: &mut Context<'_, FlexMessage>, exclude: Option<NodeId>) {
-        if self.flooding {
+        if ctx.phase() == PHASE_FLOODING {
             return;
         }
-        self.flooding = true;
+        ctx.set_phase(PHASE_FLOODING);
         let payload = self.payload_clone();
         let excluded: Vec<NodeId> = exclude.into_iter().collect();
         ctx.send_to_neighbors_except(FlexMessage::Flood { payload }, &excluded);
@@ -563,27 +566,27 @@ impl ProtocolNode for FlexNode {
                 let _ = round;
             }
             FlexMessage::AdSpread { round } => {
-                if self.payload.is_none() {
+                if !ctx.seen() {
                     // A spread instruction without the payload can only be
                     // acted upon once the payload arrives; drop it (the next
                     // wave will reach us again through our future parent).
                     ctx.record("flex-spread-before-payload");
                     return;
                 }
-                if self.flooding {
+                if ctx.phase() == PHASE_FLOODING {
                     return;
                 }
-                if self.ad.last_spread_round.is_some_and(|seen| seen >= round) {
+                if ctx.round_seen(round) {
                     return;
                 }
-                self.ad.last_spread_round = Some(round);
+                ctx.mark_round_seen(round);
                 self.forward_spread(round, &[from], ctx);
                 self.grow_frontier(round, &[from], ctx);
             }
             FlexMessage::AdToken { t, h, round } => {
                 // The token always follows an infection, so the payload is
                 // normally known by now.
-                if self.payload.is_none() {
+                if !ctx.seen() {
                     ctx.record("flex-token-before-payload");
                 }
                 self.ad.token = Some(AdToken {
@@ -592,14 +595,14 @@ impl ProtocolNode for FlexNode {
                     round,
                     received_from: Some(from),
                 });
-                self.ad.last_spread_round = Some(round);
+                ctx.mark_round_seen(round);
                 self.forward_spread(round, &[from], ctx);
                 self.grow_frontier(round, &[from], ctx);
                 ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
             }
             FlexMessage::FinalSpread { payload } => {
                 self.learn_payload(&payload, ctx);
-                if self.flooding {
+                if ctx.phase() == PHASE_FLOODING {
                     // Already switched: the signal has been handled (and the
                     // diffusion "children" relation may contain cycles, so
                     // forwarding again could circulate the request forever).
@@ -621,11 +624,9 @@ impl ProtocolNode for FlexNode {
                 self.start_flooding(ctx, Some(from));
             }
             FlexMessage::Flood { payload } => {
-                let newly_learned = self.learn_payload(&payload, ctx);
-                if !self.flooding {
+                self.learn_payload(&payload, ctx);
+                if ctx.phase() != PHASE_FLOODING {
                     self.start_flooding(ctx, Some(from));
-                } else if newly_learned {
-                    // Already counted as flooding (e.g. group fallback); nothing to do.
                 }
             }
         }
@@ -668,7 +669,6 @@ mod tests {
         assert!(!node.has_payload());
         assert!(!node.is_origin());
         assert!(!node.holds_token());
-        assert!(!node.is_flooding());
         assert!(node.group_members().is_empty());
     }
 

@@ -151,8 +151,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`, first calibrating an iteration count against
-    /// [`TARGET`], and records the mean duration per call.
+    /// Times `routine`, first calibrating an iteration count against the
+    /// measurement-time target, and records the mean duration per call.
     pub fn iter<O, F>(&mut self, mut routine: F)
     where
         F: FnMut() -> O,

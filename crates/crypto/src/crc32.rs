@@ -1,6 +1,6 @@
 //! CRC-32 (IEEE 802.3 polynomial) checksums.
 //!
-//! The paper's DC-net construction (Fig. 4) notes that "message[s] should
+//! The paper's DC-net construction (Fig. 4) notes that "message\[s\] should
 //! carry CRC bits or a similar protection" so that *collisions* — two group
 //! members transmitting in the same round — are detected: the XOR of two
 //! valid messages almost never carries a valid checksum. The same protection

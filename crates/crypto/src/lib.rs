@@ -11,7 +11,7 @@
 //! * [`hmac`] / [`hkdf`] — key derivation for the pairwise DC-net channels.
 //! * [`chacha20`] — the stream cipher realising pairwise encrypted channels
 //!   and the pseudorandom pads of the dining-cryptographers rounds.
-//! * [`crc32`] — the collision-detection checksum the paper attaches to
+//! * [`mod@crc32`] — the collision-detection checksum the paper attaches to
 //!   DC-net slots (Fig. 4) and length announcements (§V-A).
 //! * [`dh`] — finite-field Diffie–Hellman key agreement establishing the
 //!   pairwise secrets (simulation-strength parameters; see the module docs).

@@ -43,7 +43,7 @@ pub mod report;
 
 pub use alpha::AlphaSchedule;
 pub use protocol::{AdMessage, AdParams, AdaptiveDiffusionNode};
-pub use report::{run_adaptive_diffusion, DiffusionReport};
+pub use report::{run_adaptive_diffusion, run_adaptive_diffusion_in, DiffusionReport};
 
 #[cfg(test)]
 mod proptests {

@@ -110,7 +110,17 @@ struct Token {
     received_from: Option<NodeId>,
 }
 
-/// Per-node infection state.
+/// Per-node infection state (cold: touched only by the owning node's
+/// handlers once the hot-lane checks have passed).
+///
+/// The hot companions live in the simulator's struct-of-arrays lanes: the
+/// [`seen` lane](Context::seen) mirrors `is_some()` of the node's
+/// `Option<Infection>` for the duplicate-infection fast path, and the
+/// [`counter` lane](Context::counter_lane) holds the highest spread-wave
+/// round already processed (encoded as `round + 1`, `0` = none), which
+/// suppresses duplicate waves without touching this struct (the infection
+/// "children" relation can contain cycles on general graphs, so without the
+/// check a wave could circulate forever).
 #[derive(Clone, Debug, Default)]
 struct Infection {
     /// The node that infected us (tree parent); `None` for the origin.
@@ -119,11 +129,6 @@ struct Infection {
     children: Vec<NodeId>,
     /// The virtual-source token, if currently held.
     token: Option<Token>,
-    /// Highest spread-wave round already processed, used to suppress
-    /// duplicate waves (the infection "children" relation can contain
-    /// cycles on general graphs, so without this a wave could circulate
-    /// forever).
-    last_spread_round: Option<u32>,
 }
 
 /// A node running adaptive diffusion.
@@ -174,7 +179,7 @@ impl AdaptiveDiffusionNode {
     /// immediately hands it the virtual-source token, so the origin itself
     /// never acts as the centre of the spread.
     pub fn start_broadcast(&mut self, ctx: &mut Context<'_, AdMessage>) {
-        if self.infection.is_some() {
+        if ctx.set_seen() {
             return;
         }
         self.is_origin = true;
@@ -202,15 +207,18 @@ impl AdaptiveDiffusionNode {
     }
 
     /// Becomes infected (idempotent); returns `true` on the first infection.
+    ///
+    /// The duplicate case — the hottest branch of the protocol, hit by
+    /// every redundant `Infect`/`Spread` delivery — is decided entirely by
+    /// the dense seen lane without loading this node's cold state.
     fn infect(&mut self, parent: Option<NodeId>, ctx: &mut Context<'_, AdMessage>) -> bool {
-        if self.infection.is_some() {
+        if ctx.set_seen() {
             return false;
         }
         self.infection = Some(Infection {
             parent,
             children: Vec::new(),
             token: None,
-            last_spread_round: None,
         });
         ctx.mark_delivered();
         true
@@ -276,8 +284,8 @@ impl AdaptiveDiffusionNode {
         if keep {
             ctx.record("ad-keep");
             let round = token.round;
-            infection.last_spread_round = Some(round);
             infection.token = Some(token);
+            ctx.mark_round_seen(round);
             self.forward_spread(round, &[], ctx);
             self.grow_frontier(round, &[], ctx);
             ctx.set_timer(self.params.round_interval, ROUND_TIMER);
@@ -294,8 +302,8 @@ impl AdaptiveDiffusionNode {
                 .collect();
             if candidates.is_empty() {
                 let round = token.round;
-                infection.last_spread_round = Some(round);
                 infection.token = Some(token);
+                ctx.mark_round_seen(round);
                 self.forward_spread(round, &[], ctx);
                 self.grow_frontier(round, &[], ctx);
                 ctx.set_timer(self.params.round_interval, ROUND_TIMER);
@@ -330,24 +338,21 @@ impl ProtocolNode for AdaptiveDiffusionNode {
             AdMessage::Spread { round } => {
                 // A spread wave: make sure we are infected, pass it on to our
                 // subtree and grow the frontier around us. Each wave (round)
-                // is processed at most once per node so that cycles in the
-                // infection relation cannot circulate a wave indefinitely.
+                // is processed at most once per node — tracked in the hot
+                // counter lane — so that cycles in the infection relation
+                // cannot circulate a wave indefinitely.
                 self.infect(Some(from), ctx);
-                let infection = self.infection.as_mut().expect("infected above");
-                if infection
-                    .last_spread_round
-                    .is_some_and(|seen| seen >= round)
-                {
+                if ctx.round_seen(round) {
                     return;
                 }
-                infection.last_spread_round = Some(round);
+                ctx.mark_round_seen(round);
                 self.forward_spread(round, &[from], ctx);
                 self.grow_frontier(round, &[from], ctx);
             }
             AdMessage::Token { t, h, round } => {
                 self.infect(Some(from), ctx);
+                ctx.mark_round_seen(round);
                 let infection = self.infection.as_mut().expect("infected above");
-                infection.last_spread_round = Some(round);
                 infection.token = Some(Token {
                     t,
                     h,

@@ -10,7 +10,7 @@
 //! last node has already been reached.
 
 use crate::protocol::{AdParams, AdaptiveDiffusionNode};
-use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator};
+use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator, TrialArena};
 
 /// Result of one adaptive diffusion run.
 #[derive(Clone, Debug)]
@@ -74,14 +74,26 @@ pub fn run_adaptive_diffusion(
     graph: Graph,
     origin: NodeId,
     params: AdParams,
+    config: SimConfig,
+) -> DiffusionReport {
+    run_adaptive_diffusion_in(&mut TrialArena::new(), graph, origin, params, config)
+}
+
+/// Like [`run_adaptive_diffusion`], but reuses `arena`'s pooled simulator
+/// storage (recycle the report's [`Metrics`] via
+/// [`TrialArena::recycle_metrics`] once aggregated).
+pub fn run_adaptive_diffusion_in(
+    arena: &mut TrialArena,
+    graph: Graph,
+    origin: NodeId,
+    params: AdParams,
     mut config: SimConfig,
 ) -> DiffusionReport {
     config.record_trace = true;
     let node_count = graph.node_count();
-    let nodes = (0..node_count)
-        .map(|_| AdaptiveDiffusionNode::new(params))
-        .collect();
-    let mut sim = Simulator::new(graph, nodes, config);
+    let mut nodes: Vec<AdaptiveDiffusionNode> = arena.take_nodes();
+    nodes.extend((0..node_count).map(|_| AdaptiveDiffusionNode::new(params)));
+    let mut sim = Simulator::new_in(arena, graph, nodes, config);
     sim.trigger(origin, |node, ctx| node.start_broadcast(ctx));
     let mut messages_at_full_coverage = None;
     while sim.step() {
@@ -93,7 +105,8 @@ pub fn run_adaptive_diffusion(
             break;
         }
     }
-    let (_, metrics) = sim.into_parts();
+    let (nodes, metrics) = sim.into_parts_in(arena);
+    arena.store_nodes(nodes);
     let mut report = DiffusionReport::from_metrics(metrics);
     report.messages_until_full_coverage = messages_at_full_coverage;
     report

@@ -17,7 +17,9 @@
 //! attacks the line graph is re-randomised every epoch
 //! ([`StemLine::rerandomize`]).
 
-use fnp_netsim::{Context, Graph, Metrics, NodeId, Payload, ProtocolNode, SimConfig, Simulator};
+use fnp_netsim::{
+    Context, Graph, Metrics, NodeId, Payload, ProtocolNode, SimConfig, Simulator, TrialArena,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -131,11 +133,14 @@ impl Default for DandelionParams {
 }
 
 /// A node executing Dandelion.
+///
+/// The hot per-event seen flag lives in the simulator's
+/// [`seen` lane](Context::seen); this struct keeps only the cold fields
+/// (successor, origin/fluff markers) that are read at most once per run.
 #[derive(Clone, Debug)]
 pub struct DandelionNode {
     params: DandelionParams,
     stem_successor: NodeId,
-    seen: bool,
     origin: bool,
     /// True if this node was the one that switched the broadcast from stem
     /// to fluff (the paper's Fig. 3 node "S").
@@ -148,15 +153,9 @@ impl DandelionNode {
         Self {
             params,
             stem_successor,
-            seen: false,
             origin: false,
             fluffed_here: false,
         }
-    }
-
-    /// Whether this node has seen the broadcast.
-    pub fn has_seen(&self) -> bool {
-        self.seen
     }
 
     /// Whether this node originated the broadcast.
@@ -171,10 +170,9 @@ impl DandelionNode {
 
     /// Starts a Dandelion broadcast of `tx_id` from this node.
     pub fn start_broadcast(&mut self, tx_id: u64, ctx: &mut Context<'_, DandelionMessage>) {
-        if self.seen {
+        if ctx.set_seen() {
             return;
         }
-        self.seen = true;
         self.origin = true;
         ctx.mark_delivered();
         ctx.record("dandelion-origin");
@@ -220,22 +218,21 @@ impl ProtocolNode for DandelionNode {
                 tx_id,
                 remaining_hops,
             } => {
-                if self.seen {
+                if ctx.seen() {
                     // A stem relay that loops back onto a node that has
                     // already seen the transaction fluffs immediately, as in
                     // the reference implementation.
                     ctx.send_to_neighbors_except(DandelionMessage::Fluff { tx_id }, &[from]);
                     return;
                 }
-                self.seen = true;
+                ctx.set_seen();
                 ctx.mark_delivered();
                 self.relay_stem(tx_id, remaining_hops, ctx);
             }
             DandelionMessage::Fluff { tx_id } => {
-                if self.seen {
+                if ctx.set_seen() {
                     return;
                 }
-                self.seen = true;
                 ctx.mark_delivered();
                 ctx.send_to_neighbors_except(DandelionMessage::Fluff { tx_id }, &[from]);
             }
@@ -264,22 +261,48 @@ pub fn run_dandelion(
     params: DandelionParams,
     config: SimConfig,
 ) -> DandelionReport {
+    run_dandelion_in(
+        &mut TrialArena::new(),
+        graph,
+        line,
+        origin,
+        tx_id,
+        params,
+        config,
+    )
+}
+
+/// Like [`run_dandelion`], but reuses `arena`'s pooled simulator storage
+/// (recycle the report's [`Metrics`] via [`TrialArena::recycle_metrics`]
+/// once aggregated).
+pub fn run_dandelion_in(
+    arena: &mut TrialArena,
+    graph: Graph,
+    line: &StemLine,
+    origin: NodeId,
+    tx_id: u64,
+    params: DandelionParams,
+    config: SimConfig,
+) -> DandelionReport {
     assert_eq!(
         graph.node_count(),
         line.len(),
         "stem line must cover exactly the overlay nodes"
     );
-    let nodes = (0..graph.node_count())
-        .map(|index| DandelionNode::new(params, line.successor(NodeId::new(index))))
-        .collect();
-    let mut sim = Simulator::new(graph, nodes, config);
+    let mut nodes: Vec<DandelionNode> = arena.take_nodes();
+    nodes.extend(
+        (0..graph.node_count())
+            .map(|index| DandelionNode::new(params, line.successor(NodeId::new(index)))),
+    );
+    let mut sim = Simulator::new_in(arena, graph, nodes, config);
     sim.trigger(origin, |node, ctx| node.start_broadcast(tx_id, ctx));
     sim.run();
-    let (nodes, metrics) = sim.into_parts();
+    let (nodes, metrics) = sim.into_parts_in(arena);
     let fluff_node = nodes
         .iter()
         .position(|node| node.fluffed_here())
         .map(NodeId::new);
+    arena.store_nodes(nodes);
     let stem_messages = metrics.messages_of_kind("dandelion-stem");
     DandelionReport {
         metrics,

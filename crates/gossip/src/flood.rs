@@ -9,7 +9,9 @@
 //! the deanonymisation attacks of Biryukov et al. exploit (the paper's
 //! Fig. 2 and experiment E2).
 
-use fnp_netsim::{Context, Graph, Metrics, NodeId, Payload, ProtocolNode, SimConfig, Simulator};
+use fnp_netsim::{
+    Context, Graph, Metrics, NodeId, Payload, ProtocolNode, SimConfig, Simulator, TrialArena,
+};
 
 /// Wire size reported for a flooded transaction.
 const TX_BYTES: usize = 256;
@@ -35,9 +37,12 @@ impl Payload for FloodMessage {
 }
 
 /// A node executing flood-and-prune.
+///
+/// The per-event "have I relayed this already?" flag lives in the
+/// simulator's hot [`seen` lane](Context::seen) (struct-of-arrays storage),
+/// not in this struct — the struct only keeps the cold origin marker.
 #[derive(Clone, Debug, Default)]
 pub struct FloodNode {
-    seen: Option<u64>,
     origin: bool,
 }
 
@@ -45,11 +50,6 @@ impl FloodNode {
     /// Creates an idle node.
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Whether this node has seen the broadcast.
-    pub fn has_seen(&self) -> bool {
-        self.seen.is_some()
     }
 
     /// Whether this node originated the broadcast.
@@ -60,10 +60,9 @@ impl FloodNode {
     /// Starts a broadcast of transaction `tx_id` from this node. Call via
     /// [`Simulator::trigger`] on the origin.
     pub fn start_broadcast(&mut self, tx_id: u64, ctx: &mut Context<'_, FloodMessage>) {
-        if self.seen.is_some() {
+        if ctx.set_seen() {
             return;
         }
-        self.seen = Some(tx_id);
         self.origin = true;
         ctx.mark_delivered();
         ctx.send_to_neighbors_except(FloodMessage { tx_id }, &[]);
@@ -79,11 +78,10 @@ impl ProtocolNode for FloodNode {
         message: FloodMessage,
         ctx: &mut Context<'_, FloodMessage>,
     ) {
-        if self.seen.is_some() {
+        if ctx.set_seen() {
             // Prune: we have already relayed this transaction.
             return;
         }
-        self.seen = Some(message.tx_id);
         ctx.mark_delivered();
         ctx.send_to_neighbors_except(message, &[from]);
     }
@@ -92,11 +90,26 @@ impl ProtocolNode for FloodNode {
 /// Runs one flood-and-prune broadcast of `tx_id` from `origin` over `graph`
 /// and returns the collected metrics.
 pub fn run_flood(graph: Graph, origin: NodeId, tx_id: u64, config: SimConfig) -> Metrics {
-    let nodes = (0..graph.node_count()).map(|_| FloodNode::new()).collect();
-    let mut sim = Simulator::new(graph, nodes, config);
+    run_flood_in(&mut TrialArena::new(), graph, origin, tx_id, config)
+}
+
+/// Like [`run_flood`], but reuses `arena`'s pooled simulator storage and
+/// returns it there afterwards (recycle the returned [`Metrics`] via
+/// [`TrialArena::recycle_metrics`] once aggregated).
+pub fn run_flood_in(
+    arena: &mut TrialArena,
+    graph: Graph,
+    origin: NodeId,
+    tx_id: u64,
+    config: SimConfig,
+) -> Metrics {
+    let mut nodes: Vec<FloodNode> = arena.take_nodes();
+    nodes.extend((0..graph.node_count()).map(|_| FloodNode::new()));
+    let mut sim = Simulator::new_in(arena, graph, nodes, config);
     sim.trigger(origin, |node, ctx| node.start_broadcast(tx_id, ctx));
     sim.run();
-    let (_, metrics) = sim.into_parts();
+    let (nodes, metrics) = sim.into_parts_in(arena);
+    arena.store_nodes(nodes);
     metrics
 }
 
@@ -158,7 +171,30 @@ mod tests {
         sim.run();
         assert!(sim.node(NodeId::new(1)).is_origin());
         assert!(!sim.node(NodeId::new(0)).is_origin());
-        assert!(sim.node(NodeId::new(0)).has_seen());
+        // The seen flag lives in the simulator's hot lanes.
+        assert!(sim.hot().seen(NodeId::new(0)));
+        assert_eq!(sim.hot().seen_count(), 3);
+    }
+
+    #[test]
+    fn arena_reuse_is_invisible_in_the_metrics() {
+        let overlay = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            topology::random_regular(50, 4, &mut rng).unwrap()
+        };
+        let config = |seed| SimConfig {
+            seed,
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        // Trials A then B through one reused arena…
+        let mut arena = TrialArena::new();
+        let a_reused = run_flood_in(&mut arena, overlay(1), NodeId::new(0), 1, config(1));
+        arena.recycle_metrics(a_reused);
+        let b_reused = run_flood_in(&mut arena, overlay(2), NodeId::new(3), 2, config(2));
+        // …must match trial B through a fresh arena, byte for byte.
+        let b_fresh = run_flood(overlay(2), NodeId::new(3), 2, config(2));
+        assert_eq!(format!("{b_reused:?}"), format!("{b_fresh:?}"));
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub mod dandelion;
 pub mod flood;
 
 pub use dandelion::{
-    run_dandelion, DandelionMessage, DandelionNode, DandelionParams, DandelionReport, StemLine,
+    run_dandelion, run_dandelion_in, DandelionMessage, DandelionNode, DandelionParams,
+    DandelionReport, StemLine,
 };
-pub use flood::{run_flood, FloodMessage, FloodNode};
+pub use flood::{run_flood, run_flood_in, FloodMessage, FloodNode};
 
 #[cfg(test)]
 mod tests {

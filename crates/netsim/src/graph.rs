@@ -30,6 +30,20 @@ impl Graph {
         }
     }
 
+    /// Resets the graph to `n` isolated nodes, reusing the adjacency
+    /// allocations of the previous population where possible (the cheap
+    /// path of a [`TrialArena`](crate::TrialArena) checkout).
+    ///
+    /// The result is indistinguishable from `Graph::new(n)`.
+    pub fn reset(&mut self, n: usize) {
+        self.adjacency.truncate(n);
+        for neighbors in &mut self.adjacency {
+            neighbors.clear();
+        }
+        self.adjacency.resize_with(n, Vec::new);
+        self.edge_count = 0;
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.adjacency.len()
@@ -365,6 +379,20 @@ mod tests {
         assert_eq!(g.degree(NodeId::new(0)), 3);
         assert_eq!(g.degree_bounds(), Some((1, 3)));
         assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_graph() {
+        let mut g = path_graph(5);
+        g.reset(3);
+        assert_eq!(g, Graph::new(3));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(NodeId::new(0)), 0);
+        // Growing past the previous size also works.
+        g.reset(7);
+        assert_eq!(g, Graph::new(7));
+        assert!(g.add_edge(NodeId::new(5), NodeId::new(6)));
+        assert_eq!(g.edge_count(), 1);
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //!   reports.
 //! * [`runner`] — the parallel trial engine: fans independent seeded runs
 //!   out over scoped worker threads with results in deterministic plan
-//!   order.
+//!   order, including flattened cell×run grids ([`GridPlan`]).
+//! * [`hot`] — struct-of-arrays storage for the hot per-node protocol
+//!   fields (seen flags, phase tags, counters), kept out of the cold node
+//!   structs so the event loop's duplicate checks stay in cache.
+//! * [`arena`] — per-worker [`TrialArena`]s that recycle graph, queue,
+//!   metrics and node-storage allocations between trials.
 //!
 //! The simulator is single-threaded and deterministic under a fixed
 //! [`SimConfig::seed`]; experiment harnesses parallelise across *runs*, not
@@ -71,8 +76,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod churn;
 pub mod graph;
+pub mod hot;
 pub mod latency;
 pub mod message;
 pub mod metrics;
@@ -83,13 +90,15 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
+pub use arena::TrialArena;
 pub use churn::{ChurnSchedule, NodeOutage};
 pub use graph::Graph;
+pub use hot::HotState;
 pub use latency::LatencyModel;
 pub use message::{Payload, TestPayload};
 pub use metrics::{KindId, KindRegistry, Metrics, TraceEntry};
 pub use node::NodeId;
-pub use runner::{derive_seed, TrialPlan, TrialRunner};
+pub use runner::{derive_seed, GridPlan, TrialPlan, TrialRunner};
 pub use sim::{Context, ProtocolNode, SimConfig, Simulator};
 pub use stats::{entropy_bits, percentile, summarize, Summary};
 pub use time::{as_millis, from_millis, SimTime, MILLISECOND, SECOND};

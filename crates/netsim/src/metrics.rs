@@ -153,6 +153,11 @@ struct KindCounters {
 }
 
 impl KindCounters {
+    fn reset(&mut self) {
+        self.registry.names.clear();
+        self.values.clear();
+    }
+
     fn add(&mut self, name: &'static str, amount: u64) -> KindId {
         let id = self.registry.intern(name);
         bump(&mut self.values, id, amount);
@@ -215,6 +220,22 @@ impl Metrics {
             delivered_at: vec![None; n],
             ..Self::default()
         }
+    }
+
+    /// Resets the collection to the state of a fresh `Metrics::new(n)`,
+    /// reusing the counter, delivery and trace allocations (the cheap path
+    /// of a [`TrialArena`](crate::TrialArena) checkout).
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.messages_sent = 0;
+        self.bytes_sent = 0;
+        self.messages_per_kind.reset();
+        self.bytes_per_kind.clear();
+        self.custom.reset();
+        self.delivered_at.clear();
+        self.delivered_at.resize(n, None);
+        self.trace.clear();
+        self.events_processed = 0;
+        self.finished_at = 0;
     }
 
     /// Records one transmission, returning the interned kind id.
@@ -537,6 +558,38 @@ mod tests {
         assert_eq!(by_name.bytes_by_kind(), by_id.bytes_by_kind());
         assert_eq!(by_name.messages_sent, by_id.messages_sent);
         assert_eq!(by_name.bytes_sent, by_id.bytes_sent);
+    }
+
+    #[test]
+    fn reset_matches_fresh_metrics() {
+        let mut m = Metrics::new(3);
+        m.record_send("flood", 100);
+        m.record_counter("c", 2);
+        m.record_delivery(NodeId::new(1), 10);
+        m.trace.push(TraceEntry {
+            at: 10,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            kind: "flood",
+            bytes: 100,
+        });
+        m.events_processed = 5;
+        m.finished_at = 10;
+
+        m.reset(2);
+        let fresh = Metrics::new(2);
+        assert_eq!(m.messages_sent, fresh.messages_sent);
+        assert_eq!(m.bytes_sent, fresh.bytes_sent);
+        assert_eq!(m.delivered_at, fresh.delivered_at);
+        assert_eq!(m.trace, fresh.trace);
+        assert_eq!(m.events_processed, fresh.events_processed);
+        assert_eq!(m.finished_at, fresh.finished_at);
+        assert!(m.messages_by_kind().is_empty());
+        assert!(m.counters().is_empty());
+        assert!(m.kinds().is_empty());
+        // Interning after a reset assigns ids from zero again.
+        let mut reset_ids = m;
+        assert_eq!(reset_ids.intern_kind("new").index(), 0);
     }
 
     #[test]

@@ -44,8 +44,10 @@
 //! assert_eq!(metrics.delivered_count(), 1);
 //! ```
 
+use crate::arena::TrialArena;
 use crate::churn::ChurnSchedule;
 use crate::graph::Graph;
+use crate::hot::HotState;
 use crate::latency::LatencyModel;
 use crate::message::Payload;
 use crate::metrics::{Metrics, TraceEntry};
@@ -102,6 +104,7 @@ pub struct Context<'a, M> {
     neighbors: &'a [NodeId],
     node_count: usize,
     rng: &'a mut StdRng,
+    hot: &'a mut HotState,
     actions: &'a mut Vec<Action<M>>,
 }
 
@@ -206,6 +209,64 @@ impl<'a, M> Context<'a, M> {
     pub fn record_many(&mut self, name: &'static str, amount: u64) {
         self.actions.push(Action::Counter { name, amount });
     }
+
+    // ------------------------------------------------------------------
+    // Hot-lane accessors (struct-of-arrays per-node state; see `hot`)
+    // ------------------------------------------------------------------
+
+    /// This node's seen flag (hot lane; see [`HotState`]).
+    ///
+    /// Protocols use this for the duplicate-suppression check at the top of
+    /// their message handlers — the hottest read of the whole event loop —
+    /// so it lives in a dense slice instead of the node struct.
+    pub fn seen(&self) -> bool {
+        self.hot.seen(self.node)
+    }
+
+    /// Sets this node's seen flag, returning the previous value.
+    ///
+    /// `if ctx.set_seen() { return; }` is the idiomatic prune check: it
+    /// marks and tests in one lane access.
+    pub fn set_seen(&mut self) -> bool {
+        self.hot.set_seen(self.node)
+    }
+
+    /// This node's phase tag (hot lane; see [`HotState`]).
+    pub fn phase(&self) -> u8 {
+        self.hot.phase(self.node)
+    }
+
+    /// Sets this node's phase tag.
+    pub fn set_phase(&mut self, phase: u8) {
+        self.hot.set_phase(self.node, phase);
+    }
+
+    /// This node's hot counter slot (see [`HotState`]).
+    pub fn counter_lane(&self) -> u32 {
+        self.hot.counter(self.node)
+    }
+
+    /// Sets this node's hot counter slot.
+    pub fn set_counter_lane(&mut self, value: u32) {
+        self.hot.set_counter(self.node, value);
+    }
+
+    /// Whether a spread wave of `round` (or a later one) was already
+    /// processed on this node.
+    ///
+    /// Wave-dedup protocols store the highest processed round in the
+    /// counter lane encoded as `round + 1` (`0` = none yet); this helper
+    /// and [`Context::mark_round_seen`] single-source that encoding so
+    /// call sites cannot drift off by one.
+    pub fn round_seen(&self, round: u32) -> bool {
+        self.counter_lane() > round
+    }
+
+    /// Records `round` as the highest spread-wave round processed on this
+    /// node (see [`Context::round_seen`] for the encoding).
+    pub fn mark_round_seen(&mut self, round: u32) {
+        self.set_counter_lane(round + 1);
+    }
 }
 
 /// A per-node protocol state machine.
@@ -301,7 +362,12 @@ impl<M> Ord for Event<M> {
 #[derive(Debug)]
 pub struct Simulator<N: ProtocolNode> {
     graph: Graph,
+    /// Cold per-node state: the protocol structs themselves (keys, buffers,
+    /// membership tables), touched only inside the owning node's handlers.
     nodes: Vec<N>,
+    /// Hot per-node state in struct-of-arrays form: the seen/phase/counter
+    /// lanes consulted on every event (see [`HotState`]).
+    hot: HotState,
     config: SimConfig,
     queue: BinaryHeap<Reverse<Event<N::Message>>>,
     now: SimTime,
@@ -318,6 +384,44 @@ impl<N: ProtocolNode> Simulator<N> {
     ///
     /// Panics if `nodes.len()` differs from the number of graph nodes.
     pub fn new(graph: Graph, nodes: Vec<N>, config: SimConfig) -> Self {
+        let n = graph.node_count();
+        Self::assemble(
+            graph,
+            nodes,
+            HotState::new(n),
+            BinaryHeap::new(),
+            Metrics::new(n),
+            config,
+        )
+    }
+
+    /// Creates a simulator like [`Simulator::new`], checking the event
+    /// queue, metrics and hot-lane storage out of `arena` instead of
+    /// allocating them.
+    ///
+    /// Pair with [`Simulator::into_parts_in`] to return the storage after
+    /// the run; see [`TrialArena`] for the trial lifecycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len()` differs from the number of graph nodes.
+    pub fn new_in(arena: &mut TrialArena, graph: Graph, nodes: Vec<N>, config: SimConfig) -> Self
+    where
+        N::Message: 'static,
+    {
+        let n = graph.node_count();
+        let queue = BinaryHeap::from(arena.take_queue::<Reverse<Event<N::Message>>>());
+        Self::assemble(graph, nodes, arena.hot(n), queue, arena.metrics(n), config)
+    }
+
+    fn assemble(
+        graph: Graph,
+        nodes: Vec<N>,
+        hot: HotState,
+        queue: BinaryHeap<Reverse<Event<N::Message>>>,
+        metrics: Metrics,
+        config: SimConfig,
+    ) -> Self {
         assert_eq!(
             graph.node_count(),
             nodes.len(),
@@ -325,13 +429,13 @@ impl<N: ProtocolNode> Simulator<N> {
             graph.node_count(),
             nodes.len()
         );
-        let metrics = Metrics::new(graph.node_count());
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
             graph,
             nodes,
+            hot,
             config,
-            queue: BinaryHeap::new(),
+            queue,
             now: 0,
             seq: 0,
             rng,
@@ -365,8 +469,26 @@ impl<N: ProtocolNode> Simulator<N> {
         &self.metrics
     }
 
+    /// The hot per-node lanes (seen flags, phase tags, counters), for
+    /// post-run inspection.
+    pub fn hot(&self) -> &HotState {
+        &self.hot
+    }
+
     /// Consumes the simulator, returning the node states and metrics.
     pub fn into_parts(self) -> (Vec<N>, Metrics) {
+        (self.nodes, self.metrics)
+    }
+
+    /// Like [`Simulator::into_parts`], but returns the graph, event-queue
+    /// buffer and hot lanes to `arena` for the next trial to reuse.
+    pub fn into_parts_in(self, arena: &mut TrialArena) -> (Vec<N>, Metrics)
+    where
+        N::Message: 'static,
+    {
+        arena.store_graph(self.graph);
+        arena.store_queue(self.queue.into_vec());
+        arena.store_hot(self.hot);
         (self.nodes, self.metrics)
     }
 
@@ -406,6 +528,7 @@ impl<N: ProtocolNode> Simulator<N> {
                 neighbors,
                 node_count: self.graph.node_count(),
                 rng: &mut self.rng,
+                hot: &mut self.hot,
                 actions: &mut actions,
             };
             f(&mut self.nodes[node.index()], &mut ctx);

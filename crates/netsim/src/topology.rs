@@ -262,6 +262,25 @@ pub fn random_regular<R: Rng + ?Sized>(
     degree: usize,
     rng: &mut R,
 ) -> Result<Graph, GenerateTopologyError> {
+    let mut graph = Graph::new(0);
+    random_regular_into(&mut graph, n, degree, rng)?;
+    Ok(graph)
+}
+
+/// Like [`random_regular`], but regenerates into `graph`, reusing its
+/// adjacency allocations (the overlay checkout path of a
+/// [`TrialArena`](crate::TrialArena)).
+///
+/// Consumes the RNG exactly as [`random_regular`] does, so the generated
+/// overlay is byte-identical regardless of which variant (or which recycled
+/// graph) is used. On error `graph` is left cleared.
+pub fn random_regular_into<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    n: usize,
+    degree: usize,
+    rng: &mut R,
+) -> Result<(), GenerateTopologyError> {
+    graph.reset(0);
     require_nodes(n)?;
     if degree == 0 && n > 1 {
         return Err(invalid("regular degree 0 cannot be connected"));
@@ -275,7 +294,8 @@ pub fn random_regular<R: Rng + ?Sized>(
         return Err(invalid(format!("n * degree = {} must be even", n * degree)));
     }
     if n == 1 {
-        return Ok(Graph::new(1));
+        graph.reset(1);
+        return Ok(());
     }
 
     const ATTEMPTS: usize = 50;
@@ -346,18 +366,19 @@ pub fn random_regular<R: Rng + ?Sized>(
             continue;
         }
 
-        let mut g = Graph::new(n);
+        graph.reset(n);
         let mut simple = true;
         for (a, b) in edges {
-            if !g.add_edge(NodeId::new(a), NodeId::new(b)) {
+            if !graph.add_edge(NodeId::new(a), NodeId::new(b)) {
                 simple = false;
                 break;
             }
         }
-        if simple && g.is_connected() {
-            return Ok(g);
+        if simple && graph.is_connected() {
+            return Ok(());
         }
     }
+    graph.reset(0);
     Err(GenerateTopologyError::GenerationFailed { attempts: ATTEMPTS })
 }
 
@@ -478,6 +499,21 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn random_regular_into_matches_random_regular() {
+        // The into-variant must consume the RNG identically and produce the
+        // same overlay, even when regenerating into a dirty recycled graph.
+        let fresh = random_regular(60, 4, &mut rng(9)).unwrap();
+        let mut recycled = complete(10).unwrap();
+        random_regular_into(&mut recycled, 60, 4, &mut rng(9)).unwrap();
+        assert_eq!(fresh, recycled);
+
+        // Errors clear the target graph.
+        let mut target = complete(5).unwrap();
+        assert!(random_regular_into(&mut target, 7, 3, &mut rng(1)).is_err());
+        assert_eq!(target.node_count(), 0);
+    }
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)

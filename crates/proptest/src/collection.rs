@@ -1,10 +1,10 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec()`].
 
 use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// The length specification accepted by [`vec`]: an exact size or a range.
+/// The length specification accepted by [`vec()`]: an exact size or a range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
@@ -47,7 +47,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
