@@ -11,18 +11,26 @@
 //! migrated into entry 0 on first contact. See `docs/BENCHMARKING.md` for
 //! the recording procedure.
 //!
+//! Besides the fig1 workload, every entry records a **large-n leg**: one
+//! flood trial over a `--large-n`-node overlay (default one million),
+//! untraced, timed end to end (overlay build, diameter estimate, trial).
+//! This is the repo's evidence that a million-node trial completes on
+//! commodity hardware; CI smoke-tests a reduced leg.
+//!
 //! Usage: `bench_baseline [--json <path>] [--threads <n>] [--n <nodes>]
-//! [--runs <r>]` — `--threads` sets the parallel leg's worker count
-//! (default 4); the sequential leg is always 1 thread. Default output
-//! path: `BENCH_baseline.json`.
+//! [--runs <r>] [--large-n <nodes>]` — `--threads` sets the parallel
+//! leg's worker count (default 4); the sequential leg is always 1 thread.
+//! Default output path: `BENCH_baseline.json`.
 
 use fnp_bench::cli::BinArgs;
 use fnp_bench::json::Json;
-use fnp_bench::TrialRunner;
+use fnp_bench::{TrialArena, TrialRunner};
+use fnp_netsim::{NodeId, SimConfig};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const DEFAULT_PARALLEL_THREADS: usize = 4;
+const DEFAULT_LARGE_N: usize = 1_000_000;
 
 /// Short git revision of the working tree (with a `-dirty` suffix when
 /// uncommitted changes produced the numbers), or `"unknown"` outside a git
@@ -100,10 +108,67 @@ fn fnv1a64(text: &str) -> u64 {
     hash
 }
 
+/// Runs the large-n leg: one untraced flood broadcast over a fresh
+/// `large_n`-node standard overlay, returning the JSON section for the
+/// trajectory entry.
+fn large_n_leg(large_n: usize, base_seed: u64) -> Json {
+    println!("large-n leg — single flood trial over {large_n} nodes");
+    let mut arena = TrialArena::new();
+
+    let overlay_started = Instant::now();
+    let graph = fnp_bench::standard_overlay_in(&mut arena, large_n, base_seed);
+    let overlay_ms = overlay_started.elapsed().as_secs_f64() * 1e3;
+
+    let diameter_started = Instant::now();
+    let (diameter, estimator) = graph
+        .diameter_estimate()
+        .expect("standard overlays are connected");
+    let diameter_ms = diameter_started.elapsed().as_secs_f64() * 1e3;
+
+    let trial_started = Instant::now();
+    let metrics = fnp_gossip::run_flood_in(
+        &mut arena,
+        graph,
+        NodeId::new(0),
+        1,
+        SimConfig {
+            seed: base_seed,
+            ..SimConfig::default()
+        },
+    );
+    let flood_ms = trial_started.elapsed().as_secs_f64() * 1e3;
+
+    assert!(
+        (metrics.coverage() - 1.0).abs() < f64::EPSILON,
+        "large-n flood must reach every node, covered {:.4}",
+        metrics.coverage()
+    );
+    println!("  overlay build : {overlay_ms:>10.1} ms");
+    println!("  diameter      : {diameter} ({estimator} estimator, {diameter_ms:.1} ms)");
+    println!(
+        "  flood trial   : {flood_ms:>10.1} ms  ({} messages, coverage {:.2})",
+        metrics.messages_sent,
+        metrics.coverage()
+    );
+
+    Json::obj([
+        ("n", Json::from(large_n)),
+        ("seed", Json::from(base_seed)),
+        ("overlay_build_ms", Json::from(overlay_ms)),
+        ("diameter", Json::from(diameter)),
+        ("diameter_estimator", Json::from(estimator.to_string())),
+        ("diameter_ms", Json::from(diameter_ms)),
+        ("flood_wall_clock_ms", Json::from(flood_ms)),
+        ("messages", Json::from(metrics.messages_sent)),
+        ("coverage", Json::from(metrics.coverage())),
+    ])
+}
+
 fn main() {
     let args = BinArgs::parse();
     let n = args.n_or(200);
     let runs = args.runs_or(4);
+    let large_n = args.large_n_or(DEFAULT_LARGE_N);
     let parallel_threads = if args.threads == 0 {
         DEFAULT_PARALLEL_THREADS
     } else {
@@ -151,6 +216,8 @@ fn main() {
     println!("{parallel_threads} threads : {parallel_ms:>10.1} ms  (speedup {speedup:.2}x on {host_threads} host cores)");
     println!("rows: byte-identical across thread counts");
 
+    let large_n_section = large_n_leg(large_n, base_seed);
+
     let entry = Json::obj([
         ("git_rev", Json::from(git_rev())),
         (
@@ -162,7 +229,7 @@ fn main() {
             ]),
         ),
         // The simulator storage layout this point was recorded with.
-        ("layout", Json::from("soa-arena-grid")),
+        ("layout", Json::from("soa-arena-wheel")),
         (
             "params",
             Json::obj([
@@ -173,6 +240,7 @@ fn main() {
                     Json::Arr(fractions.iter().map(|&f| Json::from(f)).collect()),
                 ),
                 ("base_seed", Json::from(base_seed)),
+                ("large_n", Json::from(large_n)),
             ]),
         ),
         ("sequential_wall_clock_ms", Json::from(sequential_ms)),
@@ -186,6 +254,9 @@ fn main() {
             "rows_fnv1a64",
             Json::from(format!("{:016x}", fnv1a64(&sequential_json))),
         ),
+        // One untraced flood trial at large n — the "million-node trial
+        // completes" evidence (see docs/BENCHMARKING.md).
+        ("large_n", large_n_section),
     ]);
 
     let mut trajectory = load_trajectory(&path);

@@ -12,6 +12,9 @@
 //!   one).
 //! * `--runs <r>` — override the per-cell repetition count (where the
 //!   experiment has one).
+//! * `--large-n <nodes>` — override the overlay size of a binary's
+//!   dedicated large-scale leg (currently only `bench_baseline`'s
+//!   single-flood-trial timing), independently of `--n`.
 //!
 //! Unknown flags abort with a usage message: a typo silently ignored is an
 //! experiment silently misconfigured.
@@ -32,41 +35,61 @@ pub struct BinArgs {
     pub n: Option<usize>,
     /// Repetition-count override.
     pub runs: Option<usize>,
+    /// Overlay-size override for a binary's large-scale leg.
+    pub large_n: Option<usize>,
+}
+
+/// Why [`BinArgs::try_parse_from`] stopped parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseError {
+    /// `--help`/`-h` was given; print usage and exit successfully.
+    HelpRequested,
+    /// The arguments are invalid; print the message plus usage and exit
+    /// with status 2.
+    Invalid(String),
 }
 
 impl BinArgs {
     /// Parses `std::env::args`, exiting with a usage message on errors.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        match Self::try_parse_from(std::env::args().skip(1)) {
+            Ok(parsed) => parsed,
+            Err(ParseError::HelpRequested) => {
+                usage();
+                exit(0);
+            }
+            Err(ParseError::Invalid(message)) => {
+                eprintln!("error: {message}");
+                usage();
+                exit(2);
+            }
+        }
     }
 
-    fn parse_from(mut args: impl Iterator<Item = String>) -> Self {
+    /// The fallible core of [`BinArgs::parse`], separated so the rejection
+    /// paths are unit-testable without spawning a process.
+    fn try_parse_from(mut args: impl Iterator<Item = String>) -> Result<Self, ParseError> {
         let mut parsed = Self::default();
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
-                args.next().unwrap_or_else(|| {
-                    eprintln!("error: {flag} requires a value");
-                    usage();
-                    exit(2);
-                })
+                args.next()
+                    .ok_or_else(|| ParseError::Invalid(format!("{flag} requires a value")))
             };
             match flag.as_str() {
-                "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
-                "--threads" => parsed.threads = parse_number(&value("--threads"), "--threads"),
-                "--n" => parsed.n = Some(parse_number(&value("--n"), "--n")),
-                "--runs" => parsed.runs = Some(parse_number(&value("--runs"), "--runs")),
-                "--help" | "-h" => {
-                    usage();
-                    exit(0);
+                "--json" => parsed.json = Some(PathBuf::from(value("--json")?)),
+                "--threads" => parsed.threads = parse_number(&value("--threads")?, "--threads")?,
+                "--n" => parsed.n = Some(parse_positive(&value("--n")?, "--n")?),
+                "--runs" => parsed.runs = Some(parse_positive(&value("--runs")?, "--runs")?),
+                "--large-n" => {
+                    parsed.large_n = Some(parse_positive(&value("--large-n")?, "--large-n")?);
                 }
+                "--help" | "-h" => return Err(ParseError::HelpRequested),
                 other => {
-                    eprintln!("error: unknown argument {other:?}");
-                    usage();
-                    exit(2);
+                    return Err(ParseError::Invalid(format!("unknown argument {other:?}")));
                 }
             }
         }
-        parsed
+        Ok(parsed)
     }
 
     /// The [`TrialRunner`] these arguments select.
@@ -86,24 +109,44 @@ impl BinArgs {
     pub fn runs_or(&self, default: usize) -> usize {
         self.runs.unwrap_or(default)
     }
+
+    /// The large-scale-leg overlay size, falling back to the binary's
+    /// default.
+    #[must_use]
+    pub fn large_n_or(&self, default: usize) -> usize {
+        self.large_n.unwrap_or(default)
+    }
 }
 
-fn parse_number(text: &str, flag: &str) -> usize {
-    text.parse().unwrap_or_else(|_| {
-        eprintln!("error: {flag} expects a non-negative integer, got {text:?}");
-        usage();
-        exit(2);
+fn parse_number(text: &str, flag: &str) -> Result<usize, ParseError> {
+    text.parse().map_err(|_| {
+        ParseError::Invalid(format!(
+            "{flag} expects a non-negative integer, got {text:?}"
+        ))
     })
+}
+
+/// Like [`parse_number`], but additionally rejects zero: `--n 0` or
+/// `--runs 0` would silently produce an empty/degenerate experiment.
+fn parse_positive(text: &str, flag: &str) -> Result<usize, ParseError> {
+    match parse_number(text, flag)? {
+        0 => Err(ParseError::Invalid(format!(
+            "{flag} expects a positive integer, got 0"
+        ))),
+        value => Ok(value),
+    }
 }
 
 fn usage() {
     eprintln!(
-        "usage: <experiment> [--json <path>] [--threads <n>] [--n <nodes>] [--runs <r>]\n\
+        "usage: <experiment> [--json <path>] [--threads <n>] [--n <nodes>] [--runs <r>] \
+         [--large-n <nodes>]\n\
          \n\
-         --json <path>   also write rows + wall-clock timing as JSON\n\
-         --threads <n>   trial worker threads (0 = all cores)\n\
-         --n <nodes>     overlay size override (where applicable)\n\
-         --runs <r>      repetitions override (where applicable)"
+         --json <path>     also write rows + wall-clock timing as JSON\n\
+         --threads <n>     trial worker threads (0 = all cores)\n\
+         --n <nodes>       overlay size override, must be positive (where applicable)\n\
+         --runs <r>        repetitions override, must be positive (where applicable)\n\
+         --large-n <nodes> large-scale-leg overlay size, must be positive (where applicable)"
     );
 }
 
@@ -155,8 +198,19 @@ fn as_millis(duration: Duration) -> f64 {
 mod tests {
     use super::*;
 
+    fn try_parse(args: &[&str]) -> Result<BinArgs, ParseError> {
+        BinArgs::try_parse_from(args.iter().map(|s| s.to_string()))
+    }
+
     fn parse(args: &[&str]) -> BinArgs {
-        BinArgs::parse_from(args.iter().map(|s| s.to_string()))
+        try_parse(args).expect("arguments should parse")
+    }
+
+    fn rejection(args: &[&str]) -> String {
+        match try_parse(args) {
+            Err(ParseError::Invalid(message)) => message,
+            other => panic!("expected a rejection for {args:?}, got {other:?}"),
+        }
     }
 
     #[test]
@@ -166,8 +220,10 @@ mod tests {
         assert_eq!(args.threads, 0);
         assert_eq!(args.n, None);
         assert_eq!(args.runs, None);
+        assert_eq!(args.large_n, None);
         assert_eq!(args.n_or(500), 500);
         assert_eq!(args.runs_or(10), 10);
+        assert_eq!(args.large_n_or(1_000_000), 1_000_000);
         assert!(args.runner().threads() >= 1);
     }
 
@@ -182,11 +238,48 @@ mod tests {
             "200",
             "--runs",
             "3",
+            "--large-n",
+            "100000",
         ]);
         assert_eq!(args.json, Some(PathBuf::from("out.json")));
         assert_eq!(args.threads, 4);
         assert_eq!(args.runner().threads(), 4);
         assert_eq!(args.n_or(500), 200);
         assert_eq!(args.runs_or(10), 3);
+        assert_eq!(args.large_n_or(1_000_000), 100_000);
+    }
+
+    #[test]
+    fn zero_n_and_zero_runs_are_rejected() {
+        // Regression: `--n 0` / `--runs 0` used to be accepted and produced
+        // empty or degenerate experiments.
+        assert!(rejection(&["--n", "0"]).contains("--n expects a positive integer"));
+        assert!(rejection(&["--runs", "0"]).contains("--runs expects a positive integer"));
+        assert!(rejection(&["--large-n", "0"]).contains("--large-n expects a positive integer"));
+        // `--threads 0` stays legal: it means "all cores".
+        assert_eq!(parse(&["--threads", "0"]).threads, 0);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        assert!(rejection(&["--n", "many"]).contains("non-negative integer"));
+        assert!(rejection(&["--runs", "-3"]).contains("non-negative integer"));
+        assert!(rejection(&["--threads", "x"]).contains("--threads"));
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_rejected() {
+        assert!(rejection(&["--n"]).contains("--n requires a value"));
+        assert!(rejection(&["--json"]).contains("--json requires a value"));
+        assert!(rejection(&["--frobnicate"]).contains("unknown argument"));
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert!(matches!(
+            try_parse(&["--help"]),
+            Err(ParseError::HelpRequested)
+        ));
+        assert!(matches!(try_parse(&["-h"]), Err(ParseError::HelpRequested)));
     }
 }

@@ -95,6 +95,41 @@ fn trials_a_then_b_in_one_arena_match_fresh_arena_runs() {
 }
 
 #[test]
+fn growing_then_shrinking_the_overlay_leaves_no_stale_state() {
+    // The overlay grows, shrinks hard, and grows back — all under the SAME
+    // protocol and seed, so every pooled buffer (adjacency lanes, node
+    // vector, time-wheel, the overlay generator's scratch, the group-key
+    // cache) is genuinely reused at a new size instead of being discarded
+    // by a type mismatch. A stale lane from the 300-node trial leaking into
+    // the following 50-node trial would diverge from the fresh-arena run.
+    let sizes = [50usize, 300, 50, 300, 80];
+    for kind in [
+        ProtocolKind::Flood,
+        ProtocolKind::Flexible(FlexConfig::default()),
+    ] {
+        let mut arena = TrialArena::new();
+        for (trial, &n) in sizes.iter().enumerate() {
+            let config = SimConfig {
+                seed: 9,
+                ..SimConfig::default()
+            };
+            let graph = fnp_bench::standard_overlay_in(&mut arena, n, 9);
+            let origin = NodeId::new(n - 1);
+            let reused = run_protocol_in(&mut arena, kind, graph, origin, config.clone())
+                .expect("protocol run");
+            let fresh = run_protocol(kind, fnp_bench::standard_overlay(n, 9), origin, config)
+                .expect("protocol run");
+            assert_eq!(
+                format!("{reused:?}"),
+                format!("{fresh:?}"),
+                "trial {trial} ({kind}, n={n}) diverged after a grow/shrink cycle"
+            );
+            arena.recycle_metrics(reused);
+        }
+    }
+}
+
+#[test]
 fn landscape_rows_match_fresh_arena_rows() {
     assert_reuse_matches_fresh("landscape", |runner| {
         fnp_bench::landscape_with(runner, 60, 4, &[0.2], 11)

@@ -10,11 +10,10 @@
 //! flexible protocol — through one call.
 
 use crate::config::FlexConfig;
+use crate::keycache::GroupKeyCache;
 use crate::message::{PHASE1_KINDS, PHASE2_KINDS, PHASE3_KINDS};
 use crate::node::{FlexNode, GroupMembership};
-use fnp_crypto::dh::{KeyPair, PublicKey};
-use fnp_crypto::identity::Identity;
-use fnp_dcnet::keyed::KeyedParticipant;
+use fnp_crypto::dh::KeyPair;
 use fnp_diffusion::{AdParams, AdaptiveDiffusionNode};
 use fnp_gossip::{DandelionParams, StemLine};
 use fnp_groups::{form_groups, FormationError, Group};
@@ -22,7 +21,6 @@ use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator, TrialArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
-use std::rc::Rc;
 
 /// Result of one flexible-protocol broadcast.
 #[derive(Clone, Debug)]
@@ -125,38 +123,29 @@ pub fn node_key_pair(node: NodeId, key_seed: u64) -> KeyPair {
 
 /// Builds the [`GroupMembership`] handed to each member of `group`.
 ///
-/// The member list and identity table are built once and shared
-/// (reference-counted) between all `k` memberships rather than deep-copied
-/// per member.
-fn build_memberships(group: &Group, key_seed: u64) -> Vec<(NodeId, GroupMembership)> {
-    let members: Rc<[NodeId]> = group.member_vec().into();
-    let identities: Rc<[Identity]> = members
-        .iter()
-        .map(|node| Identity::from_node_index(node.index()))
-        .collect();
-    let key_pairs: Vec<KeyPair> = members
-        .iter()
-        .map(|node| node_key_pair(*node, key_seed))
-        .collect();
-    let public_keys: Vec<PublicKey> = key_pairs.iter().map(KeyPair::public_key).collect();
+/// Delegates to the worker's [`GroupKeyCache`]: the first trial to see this
+/// group composition pays the pairwise DH/HKDF derivations, later trials
+/// (same key seed, same members) reuse the cached pad keys. The member list
+/// and identity table are shared (reference-counted) between all `k`
+/// memberships rather than deep-copied per member.
+fn build_memberships(
+    group: &Group,
+    key_cache: &mut GroupKeyCache,
+) -> Vec<(NodeId, GroupMembership)> {
+    key_cache.memberships(group)
+}
 
-    members
-        .iter()
-        .enumerate()
-        .map(|(own_index, node)| {
-            let participant = KeyedParticipant::new(own_index, &key_pairs[own_index], &public_keys)
-                .expect("groups always have at least k >= 2 members");
-            (
-                *node,
-                GroupMembership {
-                    members: Rc::clone(&members),
-                    own_index,
-                    identities: Rc::clone(&identities),
-                    participant,
-                },
-            )
-        })
-        .collect()
+/// Checks the worker's group-key cache out of the arena extension slot.
+///
+/// A missing slot, a slot holding some other extension type, or a cache
+/// derived under a different key seed all fall back to a fresh cache —
+/// correctness never depends on what the slot contains.
+fn take_key_cache(arena: &mut TrialArena, key_seed: u64) -> GroupKeyCache {
+    arena
+        .take_extension()
+        .and_then(|boxed| boxed.downcast::<GroupKeyCache>().ok())
+        .filter(|cache| cache.key_seed() == key_seed)
+        .map_or_else(|| GroupKeyCache::new(key_seed), |cache| *cache)
 }
 
 /// Sets up and runs one flexible-protocol broadcast of `payload` from
@@ -212,17 +201,20 @@ pub fn run_flexible_broadcast_in(
     let all_nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let groups = form_groups(&all_nodes, config.k, &mut setup_rng)?;
 
-    // Build one membership object per node.
+    // Build one membership object per node, reusing any key material the
+    // previous trial on this worker derived for the same groups.
+    let mut key_cache = take_key_cache(arena, sim_config.seed);
     let mut memberships: Vec<Option<GroupMembership>> = (0..n).map(|_| None).collect();
     let mut origin_group = Vec::new();
     for group in &groups {
         if group.contains(origin) {
             origin_group = group.member_vec();
         }
-        for (node, membership) in build_memberships(group, sim_config.seed) {
+        for (node, membership) in build_memberships(group, &mut key_cache) {
             memberships[node.index()] = Some(membership);
         }
     }
+    arena.store_extension(Box::new(key_cache));
 
     let mut nodes: Vec<FlexNode> = arena.take_nodes();
     nodes.extend(
@@ -477,6 +469,70 @@ mod tests {
         assert_eq!(a.total_messages(), b.total_messages());
         assert_eq!(a.metrics.delivered_at, b.metrics.delivered_at);
         assert_eq!(a.origin_group, b.origin_group);
+    }
+
+    #[test]
+    fn warm_key_cache_reproduces_cold_cache_broadcasts() {
+        let graph = overlay(100, 6);
+        let config = SimConfig {
+            seed: 21,
+            ..SimConfig::default()
+        };
+        let run = |arena: &mut TrialArena| {
+            run_flexible_broadcast_in(
+                arena,
+                graph.clone(),
+                NodeId::new(9),
+                b"tx".to_vec(),
+                FlexConfig::default(),
+                config.clone(),
+            )
+            .unwrap()
+        };
+
+        let fresh = run(&mut TrialArena::new());
+        let mut arena = TrialArena::new();
+        let cold = run(&mut arena); // derives and populates the cache
+        let warm = run(&mut arena); // must hit the cache for every group
+        for report in [&cold, &warm] {
+            assert_eq!(report.total_messages(), fresh.total_messages());
+            assert_eq!(report.metrics.delivered_at, fresh.metrics.delivered_at);
+            assert_eq!(report.origin_group, fresh.origin_group);
+        }
+
+        // The pooled cache must carry the key seed it was derived under.
+        let cache = *arena
+            .take_extension()
+            .expect("broadcast pools its key cache")
+            .downcast::<GroupKeyCache>()
+            .expect("extension slot holds the group-key cache");
+        assert_eq!(cache.key_seed(), 21);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn key_cache_is_discarded_when_the_seed_changes() {
+        let graph = overlay(100, 6);
+        let run = |arena: &mut TrialArena, seed: u64| {
+            run_flexible_broadcast_in(
+                arena,
+                graph.clone(),
+                NodeId::new(9),
+                b"tx".to_vec(),
+                FlexConfig::default(),
+                SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut arena = TrialArena::new();
+        run(&mut arena, 1); // populates a seed-1 cache
+        let reseeded = run(&mut arena, 2); // must not reuse seed-1 material
+        let fresh = run(&mut TrialArena::new(), 2);
+        assert_eq!(reseeded.total_messages(), fresh.total_messages());
+        assert_eq!(reseeded.metrics.delivered_at, fresh.metrics.delivered_at);
     }
 
     #[test]

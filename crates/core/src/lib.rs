@@ -24,6 +24,9 @@
 //! * [`node`] — the [`FlexNode`] per-node state machine.
 //! * [`harness`] — group formation, key setup, one-call experiment runners
 //!   and the [`ProtocolKind`] abstraction for baseline comparisons.
+//! * [`keycache`] — the per-worker [`GroupKeyCache`] that memoises derived
+//!   DC-net pad keys across trials (pooled in the `TrialArena` extension
+//!   slot).
 //!
 //! # Example: an anonymous broadcast over a 200-node overlay
 //!
@@ -55,6 +58,7 @@
 
 pub mod config;
 pub mod harness;
+pub mod keycache;
 pub mod message;
 pub mod node;
 
@@ -63,5 +67,6 @@ pub use harness::{
     node_key_pair, run_flexible_broadcast, run_flexible_broadcast_in, run_protocol,
     run_protocol_in, FlexReport, HarnessError, ProtocolKind,
 };
+pub use keycache::GroupKeyCache;
 pub use message::{FlexMessage, PHASE1_KINDS, PHASE2_KINDS, PHASE3_KINDS};
 pub use node::{FlexNode, GroupMembership};

@@ -125,19 +125,55 @@ impl KeyedParticipant {
         own_keys: &KeyPair,
         member_keys: &[PublicKey],
     ) -> Result<Self, KeyedDcError> {
-        let size = member_keys.len();
+        Self::from_pad_keys(
+            index,
+            member_keys.len(),
+            member_keys
+                .iter()
+                .enumerate()
+                .filter(|(peer, _)| *peer != index)
+                .map(|(peer, public)| (peer, pairwise_pad_key(own_keys, public))),
+        )
+    }
+
+    /// Creates participant `index` of a `size`-member group from pre-derived
+    /// pairwise pad keys: one `(peer_index, key)` entry per *other* member,
+    /// where `key` is what [`pairwise_pad_key`] derives for that pair.
+    ///
+    /// This is the fast path for harnesses that cache key material across
+    /// trials — it skips the modular exponentiations entirely and is
+    /// behaviourally identical to [`KeyedParticipant::new`] given matching
+    /// keys (the pads, and hence every contribution, are byte-identical).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the group has fewer than two members, `index` is out of
+    /// range, a peer index is out of range or refers to `index` itself, or
+    /// the entries do not cover exactly the other `size − 1` members.
+    pub fn from_pad_keys(
+        index: usize,
+        size: usize,
+        pad_keys: impl IntoIterator<Item = (usize, [u8; 32])>,
+    ) -> Result<Self, KeyedDcError> {
         if size < 2 {
             return Err(KeyedDcError::GroupTooSmall { size });
         }
         if index >= size {
             return Err(KeyedDcError::MemberOutOfRange { index, size });
         }
-        let pads = member_keys
-            .iter()
-            .enumerate()
-            .filter(|(peer, _)| *peer != index)
-            .map(|(peer, public)| (peer, PadGenerator::new(pairwise_pad_key(own_keys, public))))
-            .collect();
+        let mut pads = BTreeMap::new();
+        for (peer, key) in pad_keys {
+            if peer >= size || peer == index {
+                return Err(KeyedDcError::MemberOutOfRange { index: peer, size });
+            }
+            pads.insert(peer, PadGenerator::new(key));
+        }
+        if pads.len() != size - 1 {
+            return Err(KeyedDcError::MissingContributions {
+                received: pads.len(),
+                expected: size - 1,
+            });
+        }
         Ok(Self { index, size, pads })
     }
 
@@ -458,6 +494,61 @@ mod tests {
                 3 * expected_message_count(k)
             );
         }
+    }
+
+    #[test]
+    fn from_pad_keys_matches_fresh_derivation() {
+        let mut r = rng(9);
+        let key_pairs: Vec<KeyPair> = (0..4).map(|_| KeyPair::generate(&mut r)).collect();
+        let publics: Vec<PublicKey> = key_pairs.iter().map(KeyPair::public_key).collect();
+        let derived: Vec<(usize, [u8; 32])> = publics
+            .iter()
+            .enumerate()
+            .filter(|(peer, _)| *peer != 1)
+            .map(|(peer, public)| (peer, pairwise_pad_key(&key_pairs[1], public)))
+            .collect();
+
+        let mut fresh = KeyedParticipant::new(1, &key_pairs[1], &publics).unwrap();
+        let mut cached = KeyedParticipant::from_pad_keys(1, 4, derived).unwrap();
+        assert_eq!(cached.index(), 1);
+        assert_eq!(cached.group_size(), 4);
+        for round in [0, 7, u64::MAX] {
+            assert_eq!(
+                fresh.contribution(round, 64, Some(b"tx")).unwrap(),
+                cached.contribution(round, 64, Some(b"tx")).unwrap(),
+                "round {round} contributions diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn from_pad_keys_validates_the_peer_set() {
+        let key = [7u8; 32];
+        assert!(matches!(
+            KeyedParticipant::from_pad_keys(0, 1, []),
+            Err(KeyedDcError::GroupTooSmall { size: 1 })
+        ));
+        assert!(matches!(
+            KeyedParticipant::from_pad_keys(3, 3, [(0, key), (1, key)]),
+            Err(KeyedDcError::MemberOutOfRange { index: 3, size: 3 })
+        ));
+        // A peer index outside the group, or referring to the member itself.
+        assert!(matches!(
+            KeyedParticipant::from_pad_keys(0, 3, [(1, key), (5, key)]),
+            Err(KeyedDcError::MemberOutOfRange { index: 5, size: 3 })
+        ));
+        assert!(matches!(
+            KeyedParticipant::from_pad_keys(0, 3, [(0, key), (1, key)]),
+            Err(KeyedDcError::MemberOutOfRange { index: 0, size: 3 })
+        ));
+        // Too few (and, via duplicates, effectively missing) peers.
+        assert!(matches!(
+            KeyedParticipant::from_pad_keys(0, 4, [(1, key)]),
+            Err(KeyedDcError::MissingContributions {
+                received: 1,
+                expected: 3
+            })
+        ));
     }
 
     #[test]

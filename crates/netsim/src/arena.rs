@@ -2,7 +2,7 @@
 //!
 //! Every experiment trial used to build its world from scratch: an overlay
 //! [`Graph`] (one `Vec` per node), a node-state vector, a fresh event-queue
-//! heap, zeroed [`Metrics`] and hot-field lanes — and drop the lot at the
+//! time-wheel, zeroed [`Metrics`] and hot-field lanes — and drop the lot at the
 //! end of the trial. Over a multi-thousand-trial sweep that rebuild churn
 //! dominates the allocator profile while the *shapes* of consecutive trials
 //! are identical (same `n`, same degree, same protocol).
@@ -27,6 +27,8 @@
 use crate::graph::Graph;
 use crate::hot::HotState;
 use crate::metrics::Metrics;
+use crate::topology::RegularScratch;
+use crate::wheel::{TimeWheel, WheelItem};
 use std::any::Any;
 
 /// Reusable per-worker storage for simulation trials.
@@ -40,12 +42,17 @@ pub struct TrialArena {
     graph: Option<Graph>,
     metrics: Option<Metrics>,
     hot: Option<HotState>,
-    /// Cleared event-queue buffer of the previous trial, type-erased
-    /// (`Vec<Reverse<Event<M>>>` for whatever `M` ran last).
+    /// Cleared event-queue time-wheel of the previous trial, type-erased
+    /// (`TimeWheel<Event<M>>` for whatever `M` ran last).
     queue: Option<Box<dyn Any>>,
     /// Cleared node-state vector of the previous trial, type-erased
     /// (`Vec<N>` for whatever protocol ran last).
     nodes: Option<Box<dyn Any>>,
+    /// Scratch buffers of the configuration-model overlay generator.
+    regular_scratch: Option<RegularScratch>,
+    /// Opaque per-worker extension slot for harness-level caches (e.g. the
+    /// group-key cache in `fnp-core`) that live upstream of this crate.
+    extension: Option<Box<dyn Any>>,
 }
 
 impl TrialArena {
@@ -111,15 +118,27 @@ impl TrialArena {
         self.hot = Some(hot);
     }
 
-    /// Checks out an empty event-queue buffer, reusing the pooled one when
-    /// the previous trial used the same element type.
-    pub(crate) fn take_queue<T: 'static>(&mut self) -> Vec<T> {
-        take_typed_vec(&mut self.queue)
+    /// Checks out an empty event-queue time-wheel, reusing the pooled one
+    /// when the previous trial used the same event type. The simulator
+    /// re-arms the wheel (bucket width, window) for its latency model
+    /// before use, so a pooled wheel only contributes its allocations.
+    pub(crate) fn take_queue<T: WheelItem + 'static>(&mut self) -> TimeWheel<T> {
+        match self.queue.take() {
+            Some(boxed) => match boxed.downcast::<TimeWheel<T>>() {
+                Ok(wheel) => {
+                    debug_assert_eq!(wheel.len(), 0, "pooled wheels are stored cleared");
+                    *wheel
+                }
+                Err(_) => TimeWheel::empty(),
+            },
+            None => TimeWheel::empty(),
+        }
     }
 
-    /// Returns an event-queue buffer to the pool (cleared here; any events
-    /// still queued — e.g. after an early-stopped run — are dropped).
-    pub(crate) fn store_queue<T: 'static>(&mut self, mut queue: Vec<T>) {
+    /// Returns an event-queue time-wheel to the pool (cleared here; any
+    /// events still queued — e.g. after an early-stopped run — are
+    /// dropped).
+    pub(crate) fn store_queue<T: WheelItem + 'static>(&mut self, mut queue: TimeWheel<T>) {
         queue.clear();
         self.queue = Some(Box::new(queue));
     }
@@ -135,6 +154,37 @@ impl TrialArena {
     pub fn store_nodes<T: 'static>(&mut self, mut nodes: Vec<T>) {
         nodes.clear();
         self.nodes = Some(Box::new(nodes));
+    }
+
+    /// Checks out the pooled scratch buffers of the configuration-model
+    /// overlay generator (see
+    /// [`random_regular_into_with`](crate::topology::random_regular_into_with)).
+    /// The generator clears them before use, so a dirty checkout is
+    /// indistinguishable from [`RegularScratch::new`].
+    #[must_use]
+    pub fn regular_scratch(&mut self) -> RegularScratch {
+        self.regular_scratch.take().unwrap_or_default()
+    }
+
+    /// Returns overlay-generator scratch buffers to the pool.
+    pub fn store_regular_scratch(&mut self, scratch: RegularScratch) {
+        self.regular_scratch = Some(scratch);
+    }
+
+    /// Checks out the opaque per-worker extension slot.
+    ///
+    /// Higher layers (the `fnp-core` harness) pool caches here whose types
+    /// this crate cannot name — e.g. derived group-key material reused
+    /// across trials. The caller downcasts; a `None` or a mismatched type
+    /// simply means "build a fresh cache".
+    #[must_use]
+    pub fn take_extension(&mut self) -> Option<Box<dyn Any>> {
+        self.extension.take()
+    }
+
+    /// Returns the opaque extension slot contents to the pool.
+    pub fn store_extension(&mut self, extension: Box<dyn Any>) {
+        self.extension = Some(extension);
     }
 }
 
@@ -217,14 +267,51 @@ mod tests {
     }
 
     #[test]
-    fn queue_pool_behaves_like_node_pool() {
+    fn scratch_and_extension_pools_round_trip() {
         let mut arena = TrialArena::new();
-        let mut queue: Vec<u32> = arena.take_queue();
-        queue.push(9);
+        // Scratch: a dirty store comes back as-is (the generator clears it).
+        let scratch = arena.regular_scratch();
+        arena.store_regular_scratch(scratch);
+        let _again = arena.regular_scratch();
+
+        // Extension slot: opaque round trip with caller-side downcasting.
+        assert!(arena.take_extension().is_none());
+        arena.store_extension(Box::new(vec![1u8, 2, 3]));
+        let boxed = arena.take_extension().expect("stored extension");
+        assert_eq!(*boxed.downcast::<Vec<u8>>().unwrap(), vec![1, 2, 3]);
+        assert!(arena.take_extension().is_none(), "take empties the slot");
+    }
+
+    #[test]
+    fn queue_pool_behaves_like_node_pool() {
+        #[derive(Debug)]
+        struct Tick(u64);
+        impl WheelItem for Tick {
+            fn key(&self) -> (u64, u64) {
+                (self.0, 0)
+            }
+        }
+        #[derive(Debug)]
+        struct Tock;
+        impl WheelItem for Tock {
+            fn key(&self) -> (u64, u64) {
+                (0, 0)
+            }
+        }
+
+        let mut arena = TrialArena::new();
+        let mut queue: TimeWheel<Tick> = arena.take_queue();
+        queue.reset(10);
+        queue.push(Tick(9));
         arena.store_queue(queue);
-        let reused: Vec<u32> = arena.take_queue();
-        assert!(reused.is_empty());
-        let mismatched: Vec<i8> = arena.take_queue();
-        assert!(mismatched.is_empty());
+        // Same event type: the wheel comes back, cleared.
+        let mut reused: TimeWheel<Tick> = arena.take_queue();
+        assert_eq!(reused.len(), 0);
+        assert!(reused.pop().is_none());
+        arena.store_queue(reused);
+        // Different event type: fresh wheel, no panic.
+        let mut mismatched: TimeWheel<Tock> = arena.take_queue();
+        assert_eq!(mismatched.len(), 0);
+        assert!(mismatched.pop().is_none());
     }
 }

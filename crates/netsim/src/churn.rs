@@ -81,6 +81,9 @@ impl ChurnSchedule {
             .filter(|node| !protected.contains(node))
             .collect();
         candidates.shuffle(rng);
+        // `fraction` is clamped into [0, 1], so the product lies in [0, n]:
+        // non-negative and exactly representable for any feasible overlay.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let count = ((fraction.clamp(0.0, 1.0)) * n as f64).round() as usize;
         let outages = candidates
             .into_iter()

@@ -9,6 +9,41 @@
 
 use crate::node::NodeId;
 use std::collections::VecDeque;
+use std::fmt;
+
+/// Largest node count for which [`Graph::diameter_estimate`] still runs the
+/// exact all-pairs-BFS computation.
+///
+/// Below this threshold (which covers every network size in the paper's
+/// evaluation) the reported diameter is byte-identical to the historical
+/// exact output; above it, a double-sweep estimate is used, because exact
+/// O(n·(n+m)) is a multi-hour computation at n = 10⁶.
+pub const EXACT_DIAMETER_MAX_NODES: usize = 2048;
+
+/// Number of deterministic probe nodes for the sampled-eccentricity
+/// refinement of [`Graph::diameter_estimate`].
+const DIAMETER_ECCENTRICITY_SAMPLES: usize = 8;
+
+/// Which algorithm produced a [`Graph::diameter_estimate`] figure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiameterEstimator {
+    /// All-pairs BFS: the figure is the exact diameter.
+    Exact,
+    /// Double-sweep (2-BFS) plus sampled-eccentricity refinement: the
+    /// figure is a lower bound on the diameter — exact on trees, and
+    /// typically exact or off by one on the random overlay families the
+    /// experiments use.
+    DoubleSweep,
+}
+
+impl fmt::Display for DiameterEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiameterEstimator::Exact => write!(f, "exact"),
+            DiameterEstimator::DoubleSweep => write!(f, "double-sweep"),
+        }
+    }
+}
 
 /// An undirected simple graph over nodes `0..n`.
 ///
@@ -220,6 +255,54 @@ impl Graph {
         Some(diameter)
     }
 
+    /// Graph diameter, or a tight lower-bound estimate when the graph is
+    /// too large for the exact algorithm; reports which estimator ran.
+    ///
+    /// Up to [`EXACT_DIAMETER_MAX_NODES`] nodes this is exactly
+    /// [`Graph::diameter`] (one BFS per node). Beyond that it switches to a
+    /// double sweep — BFS from node 0 to find a peripheral node `u`, then
+    /// BFS from `u` — refined by the eccentricities of the second sweep's
+    /// endpoint and a deterministic stride of probe nodes. The result is a
+    /// lower bound on the true diameter at O(1) BFS passes instead of
+    /// O(n), and `None` for disconnected (or empty) graphs either way.
+    pub fn diameter_estimate(&self) -> Option<(usize, DiameterEstimator)> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        if n <= EXACT_DIAMETER_MAX_NODES {
+            return self.diameter().map(|d| (d, DiameterEstimator::Exact));
+        }
+        // Double sweep: the farthest node from an arbitrary start sits on
+        // the periphery, so its eccentricity approximates the diameter
+        // from below (exactly, on trees).
+        let (u, _) = self.farthest_from(NodeId::new(0))?;
+        let (w, mut best) = self.farthest_from(u)?;
+        // Sampled-eccentricity refinement: more sources can only raise the
+        // lower bound. The probe set (second sweep's endpoint plus a fixed
+        // stride over node indices) is deterministic, so repeated calls on
+        // the same graph report the same figure.
+        let stride = (n / DIAMETER_ECCENTRICITY_SAMPLES).max(1);
+        for probe in std::iter::once(w).chain((0..n).step_by(stride).map(NodeId::new)) {
+            let (_, eccentricity) = self.farthest_from(probe)?;
+            best = best.max(eccentricity);
+        }
+        Some((best, DiameterEstimator::DoubleSweep))
+    }
+
+    /// The node farthest from `source` (lowest index on ties) and its BFS
+    /// distance, or `None` if any node is unreachable.
+    fn farthest_from(&self, source: NodeId) -> Option<(NodeId, usize)> {
+        let mut result = (source, 0usize);
+        for (index, distance) in self.bfs_distances(source).into_iter().enumerate() {
+            let distance = distance?;
+            if distance > result.1 {
+                result = (NodeId::new(index), distance);
+            }
+        }
+        Some(result)
+    }
+
     /// Average degree over all nodes (0.0 for the empty graph).
     pub fn average_degree(&self) -> f64 {
         if self.node_count() == 0 {
@@ -368,6 +451,52 @@ mod tests {
     fn diameter_of_disconnected_graph_is_none() {
         let g = Graph::new(3);
         assert_eq!(g.diameter(), None);
+        assert_eq!(g.diameter_estimate(), None);
+    }
+
+    #[test]
+    fn diameter_estimate_is_exact_below_the_threshold() {
+        // Paper-scale graphs take the exact path, so rows that report a
+        // diameter stay byte-identical to the all-pairs computation.
+        for g in [path_graph(6), path_graph(100)] {
+            let (d, estimator) = g.diameter_estimate().unwrap();
+            assert_eq!(Some(d), g.diameter());
+            assert_eq!(estimator, DiameterEstimator::Exact);
+        }
+        let mut cycle = path_graph(6);
+        cycle.add_edge(NodeId::new(5), NodeId::new(0));
+        assert_eq!(
+            cycle.diameter_estimate(),
+            Some((3, DiameterEstimator::Exact))
+        );
+    }
+
+    #[test]
+    fn diameter_estimate_double_sweep_on_large_paths_and_cycles() {
+        // Above the threshold the double sweep runs — and on paths and
+        // cycles it recovers the exact diameter.
+        let n = EXACT_DIAMETER_MAX_NODES + 1000;
+        let path = path_graph(n);
+        assert_eq!(
+            path.diameter_estimate(),
+            Some((n - 1, DiameterEstimator::DoubleSweep))
+        );
+        let mut cycle = path_graph(n);
+        cycle.add_edge(NodeId::new(n - 1), NodeId::new(0));
+        assert_eq!(
+            cycle.diameter_estimate(),
+            Some((n / 2, DiameterEstimator::DoubleSweep))
+        );
+        // Large and disconnected still reports None.
+        let mut split = path_graph(n);
+        split.remove_edge(NodeId::new(17), NodeId::new(18));
+        assert_eq!(split.diameter_estimate(), None);
+    }
+
+    #[test]
+    fn diameter_estimator_display_names() {
+        assert_eq!(DiameterEstimator::Exact.to_string(), "exact");
+        assert_eq!(DiameterEstimator::DoubleSweep.to_string(), "double-sweep");
     }
 
     #[test]

@@ -10,6 +10,20 @@ use crate::time::{SimTime, MILLISECOND};
 use rand::Rng;
 use std::fmt;
 
+/// Upper bound on the exponential jitter component, as a multiple of the
+/// configured mean.
+///
+/// Raw inverse-CDF sampling from `u ∈ [f64::MIN_POSITIVE, 1.0)` can return
+/// jitter up to `-ln(f64::MIN_POSITIVE) ≈ 708` times the mean (≈ 35 s on
+/// the default 50 ms model), so a single unlucky draw silently poisons
+/// every tail-latency row. The sample is therefore clamped at this
+/// multiple of the mean; the probability mass above the cap is `e^{-20} ≈
+/// 2·10⁻⁹`, so the distribution's mean shifts by far less than sampling
+/// noise. The cap is also what makes every latency model *bounded* (see
+/// [`LatencyModel::max_delay`]), which the simulator's time-wheel event
+/// queue relies on to size its buckets.
+pub const EXPONENTIAL_JITTER_CAP: u64 = 20;
+
 /// A model for per-message link latency.
 ///
 /// The enum form keeps experiment configurations declarative (and trivially
@@ -62,26 +76,97 @@ impl fmt::Display for LatencyModel {
     }
 }
 
+/// Error returned by [`LatencyModel::validate`] for ill-formed models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidLatencyModel {
+    reason: String,
+}
+
+impl fmt::Display for InvalidLatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid latency model: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidLatencyModel {}
+
 impl LatencyModel {
+    /// Checks the model parameters for internal consistency.
+    ///
+    /// The simulator validates the configured model before running, so a
+    /// misconfigured experiment fails loudly at setup instead of silently
+    /// sampling from a repaired distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLatencyModel`] for a [`LatencyModel::Uniform`] with
+    /// `min > max` (previously the bounds were silently swapped — a typo
+    /// silently repaired is an experiment silently misconfigured).
+    pub fn validate(&self) -> Result<(), InvalidLatencyModel> {
+        match *self {
+            LatencyModel::Uniform { min, max } if min > max => Err(InvalidLatencyModel {
+                reason: format!("uniform bounds are reversed (min {min} > max {max})"),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The largest delay this model can ever return (all models are
+    /// bounded; the exponential tail is clamped at
+    /// [`EXPONENTIAL_JITTER_CAP`] times its mean).
+    ///
+    /// The simulator's time-wheel event queue derives its bucket width from
+    /// this bound so that every in-flight message lands within one wheel
+    /// rotation.
+    #[must_use]
+    pub fn max_delay(&self) -> SimTime {
+        match *self {
+            LatencyModel::Constant { delay } => delay.max(1),
+            LatencyModel::Uniform { min, max } => max.max(min).max(1),
+            LatencyModel::Exponential { floor, mean } => floor
+                .saturating_add(mean.saturating_mul(EXPONENTIAL_JITTER_CAP))
+                .max(1),
+        }
+    }
+
     /// Samples the one-way delay for a message from `from` to `to`.
     ///
     /// The endpoints are accepted (though unused by the current models) so
     /// that future per-link models keep the same call shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a model rejected by [`LatencyModel::validate`].
     pub fn sample<R: Rng + ?Sized>(&self, _from: NodeId, _to: NodeId, rng: &mut R) -> SimTime {
         match *self {
             LatencyModel::Constant { delay } => delay.max(1),
             LatencyModel::Uniform { min, max } => {
-                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
-                rng.gen_range(lo..=hi).max(1)
+                assert!(
+                    min <= max,
+                    "invalid latency model: uniform bounds are reversed (min {min} > max {max})"
+                );
+                rng.gen_range(min..=max).max(1)
             }
             LatencyModel::Exponential { floor, mean } => {
                 // Inverse-CDF sampling; clamp the uniform draw away from 0
-                // so ln() stays finite.
+                // so ln() stays finite, then clamp the tail (see
+                // EXPONENTIAL_JITTER_CAP).
                 let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                let jitter = (-u.ln()) * mean as f64;
-                (floor as f64 + jitter).round().max(1.0) as SimTime
+                let mean = mean as f64;
+                let jitter = ((-u.ln()) * mean).min(EXPONENTIAL_JITTER_CAP as f64 * mean);
+                saturating_time(floor as f64 + jitter)
             }
         }
+    }
+}
+
+/// Rounds a non-negative f64 delay to a [`SimTime`], clamping to `≥ 1`.
+fn saturating_time(value: f64) -> SimTime {
+    // The input is floor + clamped jitter: non-negative and far below
+    // 2^53, so the cast is exact after rounding.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        value.round().max(1.0) as SimTime
     }
 }
 
@@ -129,12 +214,24 @@ mod tests {
     }
 
     #[test]
-    fn uniform_model_tolerates_swapped_bounds() {
+    fn uniform_model_rejects_swapped_bounds() {
+        let model = LatencyModel::Uniform { min: 20, max: 10 };
+        let error = model.validate().unwrap_err();
+        assert!(error.to_string().contains("min 20 > max 10"), "{error}");
+        // Well-formed models (including min == max) pass.
+        assert!(LatencyModel::Uniform { min: 10, max: 10 }
+            .validate()
+            .is_ok());
+        assert!(LatencyModel::default().validate().is_ok());
+        assert!(LatencyModel::Constant { delay: 0 }.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform bounds are reversed")]
+    fn sampling_swapped_bounds_panics() {
         let mut rng = StdRng::seed_from_u64(3);
         let (a, b) = nodes();
-        let model = LatencyModel::Uniform { min: 20, max: 10 };
-        let s = model.sample(a, b, &mut rng);
-        assert!((10..=20).contains(&s));
+        let _ = LatencyModel::Uniform { min: 20, max: 10 }.sample(a, b, &mut rng);
     }
 
     #[test]
@@ -150,6 +247,42 @@ mod tests {
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         // Expected mean = floor + mean = 1500; allow 5 % sampling error.
         assert!((mean - 1500.0).abs() < 75.0, "observed mean {mean}");
+    }
+
+    #[test]
+    fn exponential_tail_stays_under_the_cap() {
+        // Regression for the unbounded-tail bug: one unlucky draw used to
+        // produce jitter up to ~708× the mean. A million samples must all
+        // stay at or below floor + EXPONENTIAL_JITTER_CAP × mean.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (a, b) = nodes();
+        let (floor, mean) = (50, 100);
+        let model = LatencyModel::Exponential { floor, mean };
+        let cap = floor + EXPONENTIAL_JITTER_CAP * mean;
+        assert_eq!(model.max_delay(), cap);
+        for _ in 0..1_000_000 {
+            let s = model.sample(a, b, &mut rng);
+            assert!(s <= cap, "sample {s} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn max_delay_bounds_every_model() {
+        assert_eq!(LatencyModel::Constant { delay: 7 }.max_delay(), 7);
+        assert_eq!(LatencyModel::Constant { delay: 0 }.max_delay(), 1);
+        assert_eq!(LatencyModel::Uniform { min: 3, max: 9 }.max_delay(), 9);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (a, b) = nodes();
+        for model in [
+            LatencyModel::Constant { delay: 250 },
+            LatencyModel::Uniform { min: 10, max: 90 },
+            LatencyModel::default(),
+        ] {
+            let bound = model.max_delay();
+            for _ in 0..5_000 {
+                assert!(model.sample(a, b, &mut rng) <= bound);
+            }
+        }
     }
 
     #[test]

@@ -75,6 +75,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The hot lanes cast between u32/u64/usize/f64; every remaining cast site
+// must either be provably lossless or carry an explicit allow with the
+// reason.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::cast_sign_loss)]
 
 pub mod arena;
 pub mod churn;
@@ -89,12 +94,13 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod topology;
+mod wheel;
 
 pub use arena::TrialArena;
 pub use churn::{ChurnSchedule, NodeOutage};
-pub use graph::Graph;
+pub use graph::{DiameterEstimator, Graph, EXACT_DIAMETER_MAX_NODES};
 pub use hot::HotState;
-pub use latency::LatencyModel;
+pub use latency::{InvalidLatencyModel, LatencyModel, EXPONENTIAL_JITTER_CAP};
 pub use message::{Payload, TestPayload};
 pub use metrics::{KindId, KindRegistry, Metrics, TraceEntry};
 pub use node::NodeId;

@@ -73,6 +73,13 @@ pub struct KindRegistry {
     names: Vec<&'static str>,
 }
 
+/// Converts a registry position into a [`KindId`], checking the narrowing.
+/// A registry holds a handful of kinds, so the bound is unreachable in
+/// practice; checking keeps the cast honest.
+fn kind_id(index: usize) -> KindId {
+    KindId(u32::try_from(index).expect("more than u32::MAX distinct message kinds"))
+}
+
 impl KindRegistry {
     /// Creates an empty registry.
     #[must_use]
@@ -85,16 +92,16 @@ impl KindRegistry {
         // Fast path: same literal ⇒ same address.
         for (index, &known) in self.names.iter().enumerate() {
             if std::ptr::eq(known, name) {
-                return KindId(index as u32);
+                return kind_id(index);
             }
         }
         // Slow path: distinct statics with equal contents still map to one id.
         for (index, &known) in self.names.iter().enumerate() {
             if known == name {
-                return KindId(index as u32);
+                return kind_id(index);
             }
         }
-        let id = KindId(self.names.len() as u32);
+        let id = kind_id(self.names.len());
         self.names.push(name);
         id
     }
@@ -105,7 +112,7 @@ impl KindRegistry {
         self.names
             .iter()
             .position(|&known| known == name)
-            .map(|index| KindId(index as u32))
+            .map(kind_id)
     }
 
     /// The label of an interned id.
@@ -337,6 +344,9 @@ impl Metrics {
             return None;
         }
         let fraction = fraction.clamp(0.0, 1.0);
+        // `fraction` was clamped into [0, 1] above, so the product lies in
+        // [0, n]: non-negative and exactly representable in f64.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let needed = (fraction * n as f64).ceil() as usize;
         if needed == 0 {
             return Some(0);

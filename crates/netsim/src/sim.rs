@@ -53,10 +53,9 @@ use crate::message::Payload;
 use crate::metrics::{Metrics, TraceEntry};
 use crate::node::NodeId;
 use crate::time::SimTime;
+use crate::wheel::{self, TimeWheel, WheelItem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// Configuration of a simulation run.
@@ -357,6 +356,12 @@ impl<M> Ord for Event<M> {
     }
 }
 
+impl<M> WheelItem for Event<M> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
 /// The discrete-event simulator; see the [module documentation](self) for an
 /// overview and example.
 #[derive(Debug)]
@@ -369,7 +374,10 @@ pub struct Simulator<N: ProtocolNode> {
     /// lanes consulted on every event (see [`HotState`]).
     hot: HotState,
     config: SimConfig,
-    queue: BinaryHeap<Reverse<Event<N::Message>>>,
+    /// Pending events, ordered by `(at, seq)`. A bucketed time-wheel (see
+    /// [`wheel`]) rather than one global heap: the bounded latency models
+    /// let most pushes be O(1) bucket appends.
+    queue: TimeWheel<Event<N::Message>>,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -389,7 +397,7 @@ impl<N: ProtocolNode> Simulator<N> {
             graph,
             nodes,
             HotState::new(n),
-            BinaryHeap::new(),
+            TimeWheel::empty(),
             Metrics::new(n),
             config,
         )
@@ -410,7 +418,7 @@ impl<N: ProtocolNode> Simulator<N> {
         N::Message: 'static,
     {
         let n = graph.node_count();
-        let queue = BinaryHeap::from(arena.take_queue::<Reverse<Event<N::Message>>>());
+        let queue = arena.take_queue::<Event<N::Message>>();
         Self::assemble(graph, nodes, arena.hot(n), queue, arena.metrics(n), config)
     }
 
@@ -418,7 +426,7 @@ impl<N: ProtocolNode> Simulator<N> {
         graph: Graph,
         nodes: Vec<N>,
         hot: HotState,
-        queue: BinaryHeap<Reverse<Event<N::Message>>>,
+        mut queue: TimeWheel<Event<N::Message>>,
         metrics: Metrics,
         config: SimConfig,
     ) -> Self {
@@ -429,6 +437,10 @@ impl<N: ProtocolNode> Simulator<N> {
             graph.node_count(),
             nodes.len()
         );
+        if let Err(error) = config.latency.validate() {
+            panic!("{error}");
+        }
+        queue.reset(wheel::width_for(config.latency.max_delay()));
         let rng = StdRng::seed_from_u64(config.seed);
         Self {
             graph,
@@ -487,7 +499,7 @@ impl<N: ProtocolNode> Simulator<N> {
         N::Message: 'static,
     {
         arena.store_graph(self.graph);
-        arena.store_queue(self.queue.into_vec());
+        arena.store_queue(self.queue);
         arena.store_hot(self.hot);
         (self.nodes, self.metrics)
     }
@@ -582,7 +594,7 @@ impl<N: ProtocolNode> Simulator<N> {
                         if at <= self.config.max_time {
                             let seq = self.seq;
                             self.seq += 1;
-                            self.queue.push(Reverse(Event {
+                            self.queue.push(Event {
                                 at,
                                 seq,
                                 kind: EventKind::Deliver {
@@ -592,7 +604,7 @@ impl<N: ProtocolNode> Simulator<N> {
                                     bytes,
                                     kind,
                                 },
-                            }));
+                            });
                         }
                     }
                 }
@@ -624,7 +636,7 @@ impl<N: ProtocolNode> Simulator<N> {
     }
 
     fn push_event(&mut self, event: Event<N::Message>) {
-        self.queue.push(Reverse(event));
+        self.queue.push(event);
     }
 
     /// Processes a single event. Returns `false` when the queue is empty or
@@ -634,7 +646,7 @@ impl<N: ProtocolNode> Simulator<N> {
         if self.metrics.events_processed >= self.config.max_events {
             return false;
         }
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some(event) = self.queue.pop() else {
             return false;
         };
         debug_assert!(event.at >= self.now, "event queue must be monotone");
@@ -689,8 +701,8 @@ impl<N: ProtocolNode> Simulator<N> {
     pub fn run_until(&mut self, deadline: SimTime) -> &Metrics {
         self.ensure_initialized();
         loop {
-            match self.queue.peek() {
-                Some(Reverse(event)) if event.at <= deadline => {
+            match self.queue.next_at() {
+                Some(at) if at <= deadline => {
                     if !self.step() {
                         break;
                     }

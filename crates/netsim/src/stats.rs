@@ -34,6 +34,12 @@ impl fmt::Display for Summary {
 }
 
 /// Computes [`Summary`] statistics over `values`.
+///
+/// Never panics: values are ordered with [`f64::total_cmp`], under which
+/// positive NaNs sort after `+∞` (and negative NaNs before `-∞`). An
+/// upstream 0/0 therefore surfaces as a NaN `max`/high percentile in the
+/// report — visible in the output row — instead of aborting the whole
+/// experiment sweep.
 pub fn summarize(values: &[f64]) -> Summary {
     if values.is_empty() {
         return Summary {
@@ -53,10 +59,7 @@ pub fn summarize(values: &[f64]) -> Summary {
         0.0
     };
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("statistics input must not contain NaN")
-    });
+    sorted.sort_by(f64::total_cmp);
     Summary {
         count,
         mean,
@@ -69,15 +72,15 @@ pub fn summarize(values: &[f64]) -> Summary {
 
 /// Returns the `p`-th percentile (0–100) of `values` using linear
 /// interpolation between closest ranks. Returns 0.0 for an empty slice.
+///
+/// Values are ordered with [`f64::total_cmp`], so NaN input never panics;
+/// positive NaNs rank above `+∞` (see [`summarize`] for the rationale).
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("statistics input must not contain NaN")
-    });
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, p)
 }
 
@@ -87,7 +90,11 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
         return sorted[0];
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    // `p` is clamped into [0, 100], so `rank` lies in [0, len − 1]:
+    // non-negative and always in range for usize.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let lower = rank.floor() as usize;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     let upper = rank.ceil() as usize;
     if lower == upper {
         sorted[lower]
@@ -175,6 +182,19 @@ mod tests {
         let values = [1.0, 2.0, 3.0];
         assert_eq!(percentile(&values, -10.0), 1.0);
         assert_eq!(percentile(&values, 200.0), 3.0);
+    }
+
+    #[test]
+    fn nan_input_is_ordered_last_instead_of_panicking() {
+        // Regression: these used to abort the whole sweep via `.expect`.
+        let s = summarize(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert!(s.max.is_nan(), "positive NaN sorts after +inf");
+        assert_eq!(s.median, 2.0);
+        assert!(s.mean.is_nan());
+        assert_eq!(percentile(&[f64::NAN, 5.0, 3.0], 0.0), 3.0);
+        assert!(percentile(&[f64::NAN, 5.0, 3.0], 100.0).is_nan());
     }
 
     #[test]

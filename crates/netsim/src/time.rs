@@ -22,7 +22,13 @@ pub fn as_millis(t: SimTime) -> f64 {
 /// Converts fractional milliseconds to [`SimTime`], rounding to the nearest
 /// microsecond.
 pub fn from_millis(ms: f64) -> SimTime {
-    (ms * MILLISECOND as f64).round().max(0.0) as SimTime
+    // Float-to-int casts saturate: negatives and NaN clamp to 0 (the
+    // `max` already handles the former), overlarge inputs to
+    // `SimTime::MAX`. Both are the intended edge behaviours here.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (ms * MILLISECOND as f64).round().max(0.0) as SimTime
+    }
 }
 
 #[cfg(test)]
