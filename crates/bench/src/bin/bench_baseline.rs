@@ -32,6 +32,17 @@ use std::time::Instant;
 const DEFAULT_PARALLEL_THREADS: usize = 4;
 const DEFAULT_LARGE_N: usize = 1_000_000;
 
+/// Slot length (bytes) of the DC-net crypto leg.
+const DCNET_SLOT_LEN: usize = 512;
+/// Group sizes exercised by the DC-net crypto leg.
+const DCNET_GROUP_SIZES: [usize; 4] = [8, 16, 32, 64];
+/// Rounds per measurement scale as `DCNET_ROUND_BUDGET / k²`, keeping the
+/// total pad bytes per cell roughly constant across group sizes.
+const DCNET_ROUND_BUDGET: u64 = 65_536;
+/// Timing repetitions per DC-net cell; the minimum is recorded (the noise
+/// on a shared single-core host is strictly additive).
+const DCNET_REPS: usize = 5;
+
 /// Short git revision of the working tree (with a `-dirty` suffix when
 /// uncommitted changes produced the numbers), or `"unknown"` outside a git
 /// checkout.
@@ -164,6 +175,66 @@ fn large_n_leg(large_n: usize, base_seed: u64) -> Json {
     ])
 }
 
+/// Runs the DC-net crypto leg: keyed rounds through the fused pooled path
+/// (multi-block keystream XORed straight into pooled slot buffers) versus
+/// the unfused pre-fusion reference lane (fresh single-block pad and slot
+/// allocations per member, separate XOR passes, clone-then-XOR combine).
+/// Both lanes fold their combined slot bytes into an FNV-1a digest that
+/// must agree — the speedup is only meaningful if the lanes do identical
+/// DC-net work.
+fn dcnet_leg(base_seed: u64) -> Json {
+    println!(
+        "dcnet leg — fused vs unfused keyed rounds (slot {DCNET_SLOT_LEN} B, min of \
+         {DCNET_REPS} reps)"
+    );
+    let mut rows = Vec::new();
+    for &k in &DCNET_GROUP_SIZES {
+        let k_u64 = u64::try_from(k).expect("group size fits in u64");
+        let rounds = (DCNET_ROUND_BUDGET / (k_u64 * k_u64)).max(1);
+        let table = fnp_bench::bench_pad_key_table(k, base_seed);
+        let participants = fnp_bench::bench_keyed_participants(&table);
+        // Warm-up pass: faults the key schedules and pool buffers in, and
+        // pins the lanes' byte-identity before any timing happens.
+        let warm_fused = fnp_bench::run_fused_keyed_rounds(&participants, DCNET_SLOT_LEN, 4);
+        let warm_unfused = fnp_bench::run_unfused_keyed_rounds(&table, DCNET_SLOT_LEN, 4);
+        assert_eq!(warm_fused, warm_unfused, "lane digests diverged at k={k}");
+
+        let mut fused_ms = f64::MAX;
+        let mut unfused_ms = f64::MAX;
+        let mut digest = 0u64;
+        for _ in 0..DCNET_REPS {
+            let started = Instant::now();
+            digest = fnp_bench::run_fused_keyed_rounds(&participants, DCNET_SLOT_LEN, rounds);
+            fused_ms = fused_ms.min(started.elapsed().as_secs_f64() * 1e3);
+
+            let started = Instant::now();
+            let unfused_digest =
+                fnp_bench::run_unfused_keyed_rounds(&table, DCNET_SLOT_LEN, rounds);
+            unfused_ms = unfused_ms.min(started.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(digest, unfused_digest, "lane digests diverged at k={k}");
+        }
+        let speedup = unfused_ms / fused_ms;
+        println!(
+            "  k={k:>2}: fused {fused_ms:>7.1} ms  unfused {unfused_ms:>7.1} ms  \
+             speedup {speedup:.2}x  ({rounds} rounds)"
+        );
+        rows.push(Json::obj([
+            ("k", Json::from(k)),
+            ("slot_len", Json::from(DCNET_SLOT_LEN)),
+            ("rounds", Json::from(rounds)),
+            ("digest_fnv1a64", Json::from(format!("{digest:016x}"))),
+            ("fused_wall_clock_ms", Json::from(fused_ms)),
+            ("unfused_wall_clock_ms", Json::from(unfused_ms)),
+            ("speedup", Json::from(speedup)),
+        ]));
+    }
+    Json::obj([
+        ("reps", Json::from(DCNET_REPS)),
+        ("digests_identical", Json::from(true)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
 fn main() {
     let args = BinArgs::parse();
     let n = args.n_or(200);
@@ -217,6 +288,7 @@ fn main() {
     println!("rows: byte-identical across thread counts");
 
     let large_n_section = large_n_leg(large_n, base_seed);
+    let dcnet_section = dcnet_leg(base_seed);
 
     let entry = Json::obj([
         ("git_rev", Json::from(git_rev())),
@@ -241,6 +313,17 @@ fn main() {
                 ),
                 ("base_seed", Json::from(base_seed)),
                 ("large_n", Json::from(large_n)),
+                (
+                    "dcnet",
+                    Json::obj([
+                        (
+                            "group_sizes",
+                            Json::Arr(DCNET_GROUP_SIZES.iter().map(|&k| Json::from(k)).collect()),
+                        ),
+                        ("slot_len", Json::from(DCNET_SLOT_LEN)),
+                        ("round_budget", Json::from(DCNET_ROUND_BUDGET)),
+                    ]),
+                ),
             ]),
         ),
         ("sequential_wall_clock_ms", Json::from(sequential_ms)),
@@ -257,6 +340,9 @@ fn main() {
         // One untraced flood trial at large n — the "million-node trial
         // completes" evidence (see docs/BENCHMARKING.md).
         ("large_n", large_n_section),
+        // Fused vs unfused keyed DC-net rounds — the pad-pipeline speedup
+        // this trajectory point was recorded under (see docs/BENCHMARKING.md).
+        ("dcnet", dcnet_section),
     ]);
 
     let mut trajectory = load_trajectory(&path);

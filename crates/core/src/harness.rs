@@ -14,13 +14,16 @@ use crate::keycache::GroupKeyCache;
 use crate::message::{PHASE1_KINDS, PHASE2_KINDS, PHASE3_KINDS};
 use crate::node::{FlexNode, GroupMembership};
 use fnp_crypto::dh::KeyPair;
+use fnp_dcnet::RoundScratch;
 use fnp_diffusion::{AdParams, AdaptiveDiffusionNode};
 use fnp_gossip::{DandelionParams, StemLine};
 use fnp_groups::{form_groups, FormationError, Group};
 use fnp_netsim::{Graph, Metrics, NodeId, SimConfig, Simulator, TrialArena};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// Result of one flexible-protocol broadcast.
 #[derive(Clone, Debug)]
@@ -135,17 +138,44 @@ fn build_memberships(
     key_cache.memberships(group)
 }
 
-/// Checks the worker's group-key cache out of the arena extension slot.
+/// Per-worker state carried across trials in the arena's extension slot:
+/// the group-key cache plus the DC-round buffer pool the trial's nodes
+/// share.
+#[derive(Debug)]
+struct HarnessExtras {
+    key_cache: GroupKeyCache,
+    scratch: Rc<RefCell<RoundScratch>>,
+}
+
+/// Checks the worker's harness extras out of the arena extension slot.
 ///
-/// A missing slot, a slot holding some other extension type, or a cache
-/// derived under a different key seed all fall back to a fresh cache —
-/// correctness never depends on what the slot contains.
-fn take_key_cache(arena: &mut TrialArena, key_seed: u64) -> GroupKeyCache {
-    arena
+/// A missing slot or a slot holding some other extension type falls back
+/// to fresh state; a key cache derived under a different key seed is
+/// replaced (stale pad keys must never leak between seeds) while the
+/// scratch pool — plain zeroed buffers — survives any seed change.
+/// Correctness never depends on what the slot contains.
+fn take_extras(
+    arena: &mut TrialArena,
+    key_seed: u64,
+) -> (GroupKeyCache, Rc<RefCell<RoundScratch>>) {
+    match arena
         .take_extension()
-        .and_then(|boxed| boxed.downcast::<GroupKeyCache>().ok())
-        .filter(|cache| cache.key_seed() == key_seed)
-        .map_or_else(|| GroupKeyCache::new(key_seed), |cache| *cache)
+        .and_then(|boxed| boxed.downcast::<HarnessExtras>().ok())
+    {
+        Some(extras) => {
+            let HarnessExtras { key_cache, scratch } = *extras;
+            let key_cache = if key_cache.key_seed() == key_seed {
+                key_cache
+            } else {
+                GroupKeyCache::new(key_seed)
+            };
+            (key_cache, scratch)
+        }
+        None => (
+            GroupKeyCache::new(key_seed),
+            Rc::new(RefCell::new(RoundScratch::new())),
+        ),
+    }
 }
 
 /// Sets up and runs one flexible-protocol broadcast of `payload` from
@@ -203,7 +233,7 @@ pub fn run_flexible_broadcast_in(
 
     // Build one membership object per node, reusing any key material the
     // previous trial on this worker derived for the same groups.
-    let mut key_cache = take_key_cache(arena, sim_config.seed);
+    let (mut key_cache, scratch) = take_extras(arena, sim_config.seed);
     let mut memberships: Vec<Option<GroupMembership>> = (0..n).map(|_| None).collect();
     let mut origin_group = Vec::new();
     for group in &groups {
@@ -214,13 +244,16 @@ pub fn run_flexible_broadcast_in(
             memberships[node.index()] = Some(membership);
         }
     }
-    arena.store_extension(Box::new(key_cache));
+    arena.store_extension(Box::new(HarnessExtras {
+        key_cache,
+        scratch: Rc::clone(&scratch),
+    }));
 
     let mut nodes: Vec<FlexNode> = arena.take_nodes();
     nodes.extend(
         memberships
             .into_iter()
-            .map(|membership| FlexNode::new(config, membership)),
+            .map(|membership| FlexNode::with_scratch(config, membership, Rc::clone(&scratch))),
     );
 
     let mut traced_config = sim_config;
@@ -500,14 +533,19 @@ mod tests {
             assert_eq!(report.origin_group, fresh.origin_group);
         }
 
-        // The pooled cache must carry the key seed it was derived under.
-        let cache = *arena
+        // The pooled extras must carry the key seed the cache was derived
+        // under, and the scratch pool must have recycled round buffers.
+        let extras = *arena
             .take_extension()
-            .expect("broadcast pools its key cache")
-            .downcast::<GroupKeyCache>()
-            .expect("extension slot holds the group-key cache");
-        assert_eq!(cache.key_seed(), 21);
-        assert!(!cache.is_empty());
+            .expect("broadcast pools its harness extras")
+            .downcast::<HarnessExtras>()
+            .expect("extension slot holds the harness extras");
+        assert_eq!(extras.key_cache.key_seed(), 21);
+        assert!(!extras.key_cache.is_empty());
+        assert!(
+            extras.scratch.borrow().pooled() > 0,
+            "resolved DC rounds should have recycled their buffers"
+        );
     }
 
     #[test]

@@ -206,7 +206,7 @@ mod tests {
 
     /// One member's phase-1 contribution; pads are deterministic, so equal
     /// contributions mean equal pad material.
-    fn contribution(membership: &mut GroupMembership, round: u64) -> Vec<u8> {
+    fn contribution(membership: &GroupMembership, round: u64) -> Vec<u8> {
         membership
             .participant
             .contribution(round, 64, Some(b"probe"))
@@ -223,7 +223,7 @@ mod tests {
         let fresh: Vec<_> = groups.iter().map(|g| fresh_cache.memberships(g)).collect();
 
         assert_eq!(cache.len(), groups.len());
-        for ((mut cold, mut warm), mut fresh) in cold
+        for ((cold, warm), fresh) in cold
             .into_iter()
             .flatten()
             .zip(warm.into_iter().flatten())
@@ -234,9 +234,9 @@ mod tests {
             assert_eq!(cold.1.own_index, warm.1.own_index);
             assert_eq!(cold.1.identities, warm.1.identities);
             for round in [0u64, 9] {
-                let reference = contribution(&mut fresh.1, round);
-                assert_eq!(contribution(&mut cold.1, round), reference);
-                assert_eq!(contribution(&mut warm.1, round), reference);
+                let reference = contribution(&fresh.1, round);
+                assert_eq!(contribution(&cold.1, round), reference);
+                assert_eq!(contribution(&warm.1, round), reference);
             }
         }
     }
@@ -262,8 +262,8 @@ mod tests {
         for group in &groups {
             let a = capped.memberships(group);
             let b = unlimited.memberships(group);
-            for ((_, mut a), (_, mut b)) in a.into_iter().zip(b) {
-                assert_eq!(contribution(&mut a, 1), contribution(&mut b, 1));
+            for ((_, a), (_, b)) in a.into_iter().zip(b) {
+                assert_eq!(contribution(&a, 1), contribution(&b, 1));
             }
         }
         assert_eq!(capped.len(), 2, "cap must bound the cache");
@@ -277,11 +277,11 @@ mod tests {
         let groups = sample_groups(10, 5, 1);
         let mut a = GroupKeyCache::new(1);
         let mut b = GroupKeyCache::new(2);
-        let mut first = a.memberships(&groups[0]);
-        let mut second = b.memberships(&groups[0]);
+        let first = a.memberships(&groups[0]);
+        let second = b.memberships(&groups[0]);
         assert_ne!(
-            contribution(&mut first[0].1, 0),
-            contribution(&mut second[0].1, 0),
+            contribution(&first[0].1, 0),
+            contribution(&second[0].1, 0),
             "key seed must flow into the pad material"
         );
     }

@@ -25,10 +25,12 @@ use crate::config::FlexConfig;
 use crate::message::FlexMessage;
 use fnp_crypto::identity::{elect_virtual_source_index, Identity};
 use fnp_crypto::sha256::Sha256;
-use fnp_dcnet::keyed::{combine_contributions, KeyedParticipant};
+use fnp_dcnet::keyed::{combine_contributions_into, KeyedParticipant};
 use fnp_dcnet::slot::SlotOutcome;
+use fnp_dcnet::RoundScratch;
 use fnp_netsim::{Context, NodeId, ProtocolNode};
 use rand::Rng;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -74,6 +76,9 @@ struct DcState {
     /// Rounds this node has participated in so far.
     rounds_started: u64,
     /// Contributions received per round, keyed by round → member index.
+    /// A round's entry is removed (and its buffers recycled into the
+    /// node's scratch pool) as soon as the round resolves, so this map
+    /// only holds in-flight rounds.
     received: BTreeMap<u64, BTreeMap<usize, Vec<u8>>>,
     /// Rounds whose outcome has already been resolved.
     resolved: BTreeMap<u64, SlotOutcome>,
@@ -106,6 +111,10 @@ pub struct FlexNode {
     config: FlexConfig,
     group: Option<GroupMembership>,
     dc: DcState,
+    /// Pool the DC-round slot buffers (own contributions, combine
+    /// accumulators) are drawn from. The harness shares one pool between
+    /// all nodes of a trial and carries it across trials in the arena.
+    scratch: Rc<RefCell<RoundScratch>>,
     /// The transaction payload once this node knows it. Presence is
     /// mirrored in the hot seen lane; handlers test [`Context::seen`]
     /// instead of probing this option.
@@ -119,10 +128,22 @@ impl FlexNode {
     /// Creates a node. `group` is `None` for nodes that are not part of any
     /// DC-net group in this experiment (they still relay phases 2 and 3).
     pub fn new(config: FlexConfig, group: Option<GroupMembership>) -> Self {
+        Self::with_scratch(config, group, Rc::new(RefCell::new(RoundScratch::new())))
+    }
+
+    /// Like [`FlexNode::new`], but drawing DC-round slot buffers from
+    /// `scratch` — a pool the caller shares between all nodes of a trial
+    /// (and, via the experiment harness, across trials on one worker).
+    pub fn with_scratch(
+        config: FlexConfig,
+        group: Option<GroupMembership>,
+        scratch: Rc<RefCell<RoundScratch>>,
+    ) -> Self {
         Self {
             config,
             group,
             dc: DcState::default(),
+            scratch,
             payload: None,
             ad: AdState::default(),
             is_origin: false,
@@ -195,7 +216,7 @@ impl FlexNode {
     /// Starts the next DC-net round: computes this node's contribution and
     /// sends it to every other group member.
     fn run_dc_round(&mut self, ctx: &mut Context<'_, FlexMessage>) {
-        let Some(group) = self.group.as_mut() else {
+        let Some(group) = self.group.as_ref() else {
             return;
         };
         if self.dc.rounds_started >= self.config.max_dc_rounds {
@@ -222,17 +243,22 @@ impl FlexNode {
             None
         };
 
-        let contribution = group
+        // Build the contribution in a pooled buffer: the pads are XORed
+        // straight into the encoded slot, with no per-pad allocation.
+        let mut contribution = self.scratch.borrow_mut().checkout();
+        group
             .participant
-            .contribution(round, self.config.slot_len, payload.as_deref())
+            .contribute_into(
+                round,
+                self.config.slot_len,
+                payload.as_deref(),
+                &mut contribution,
+            )
             .expect("slot length validated by FlexConfig::validate");
 
-        // Record our own contribution and send to every other member.
-        self.dc
-            .received
-            .entry(round)
-            .or_default()
-            .insert(group.own_index, contribution.clone());
+        // Send to every other member, then record our own contribution
+        // (moving the pooled buffer into the received map; it returns to
+        // the pool when the round resolves).
         let own_index = group.own_index;
         for (index, member) in group.members.iter().enumerate() {
             if index == own_index {
@@ -247,6 +273,11 @@ impl FlexNode {
                 },
             );
         }
+        self.dc
+            .received
+            .entry(round)
+            .or_default()
+            .insert(own_index, contribution);
         ctx.record("flex-dc-rounds");
 
         // Schedule the next round while the budget lasts.
@@ -287,14 +318,29 @@ impl FlexNode {
         if self.dc.resolved.contains_key(&round) {
             return;
         }
-        let Some(contributions) = self.dc.received.get(&round) else {
-            return;
-        };
-        if contributions.len() < group.members.len() {
-            return;
+        match self.dc.received.get(&round) {
+            Some(contributions) if contributions.len() >= group.members.len() => {}
+            _ => return,
         }
-        let ordered: Vec<Vec<u8>> = contributions.values().cloned().collect();
-        let outcome = combine_contributions(&ordered).unwrap_or(SlotOutcome::Collision);
+        // The round is complete: combine the contributions in place (the
+        // BTreeMap iterates members in ascending order, and XOR commutes,
+        // so borrowing beats the former clone-and-collect byte for byte),
+        // then recycle every buffer of the round into the shared pool.
+        let contributions = self
+            .dc
+            .received
+            .remove(&round)
+            .expect("presence checked above");
+        let mut scratch = self.scratch.borrow_mut();
+        let mut combined = scratch.checkout();
+        let outcome =
+            combine_contributions_into(contributions.values().map(Vec::as_slice), &mut combined)
+                .unwrap_or(SlotOutcome::Collision);
+        scratch.recycle(combined);
+        for contribution in contributions.into_values() {
+            scratch.recycle(contribution);
+        }
+        drop(scratch);
         self.dc.resolved.insert(round, outcome.clone());
 
         match outcome {

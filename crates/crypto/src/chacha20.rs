@@ -8,6 +8,33 @@
 //! same cipher doubles as the "pairwise encrypted channel" the paper assumes
 //! between group members.
 //!
+//! # The multi-block engine
+//!
+//! A keyed DC-net round expands `k·(k−1)` keystreams per group per round,
+//! which makes block generation the hottest loop in the repository. The
+//! cipher therefore produces keystream four blocks per inner-loop pass:
+//! [`ChaCha20::keystream_into`] and [`ChaCha20::xor_keystream_into`] write
+//! directly into caller-owned buffers (no per-call allocation), running the
+//! 20-round permutation over four independent working states at once in a
+//! word-sliced layout — row `i` of the working state holds word `i` of all
+//! four blocks, so every quarter-round step is an elementwise pass over a
+//! `[u32; 4]` that LLVM lowers to single vector instructions on targets
+//! with cheap vector rotates (and to four parallel scalar dependency
+//! chains elsewhere). The single-block path is retained as the reference
+//! oracle; an equivalence property test pins the two against each other
+//! over arbitrary lengths and chunkings.
+//!
+//! # Keystream exhaustion
+//!
+//! RFC 8439 leaves the behaviour at 32-bit block-counter wraparound to the
+//! application. Reusing counter values would repeat keystream — fatal for a
+//! pad — so this implementation defines it: one `(key, nonce)` pair yields
+//! at most [`MAX_KEYSTREAM_BLOCKS`] blocks ([`MAX_KEYSTREAM_LEN`] bytes,
+//! 256 GiB); the block with counter `u32::MAX` is the last one, and any
+//! request past it panics with a clear message. DC-net pads start every
+//! round at counter 0 and span a few hundred bytes, so the limit is purely
+//! a safety net against keystream reuse.
+//!
 //! # Examples
 //!
 //! ```
@@ -24,18 +51,35 @@
 //! assert_eq!(&data, b"a transaction to hide");
 //! ```
 
+use crate::prg::xor_into;
+
 /// Key length in bytes.
 pub const KEY_LEN: usize = 32;
 /// Nonce length in bytes.
 pub const NONCE_LEN: usize = 12;
 /// Size of one keystream block in bytes.
 pub const BLOCK_LEN: usize = 64;
+/// Number of blocks generated per multi-block inner-loop pass.
+const LANES: usize = 4;
+/// `LANES` as the block-counter width (kept as a separate literal so no
+/// narrowing cast appears on the hot path).
+const LANES_U32: u32 = 4;
+/// Maximum number of keystream blocks one `(key, nonce)` pair may produce
+/// (the 32-bit block counter must not wrap; see the module docs).
+pub const MAX_KEYSTREAM_BLOCKS: u64 = 1 << 32;
+/// Maximum keystream length in bytes for one `(key, nonce)` pair (256 GiB).
+pub const MAX_KEYSTREAM_LEN: u64 = MAX_KEYSTREAM_BLOCKS * BLOCK_LEN as u64;
+
+/// Panic message for keystream requests past the counter limit.
+const EXHAUSTED: &str = "ChaCha20 keystream exhausted: one (key, nonce) pair yields at most \
+     2^32 blocks (256 GiB); reusing counter values would repeat pad bytes";
 
 /// ChaCha20 stream cipher state.
 ///
 /// The cipher produces a keystream in 64-byte blocks; [`ChaCha20::apply_keystream`]
-/// XORs it into a buffer, and [`ChaCha20::keystream`] exposes raw keystream
-/// bytes (used directly as DC-net pads).
+/// XORs it into a buffer, [`ChaCha20::keystream_into`] writes raw keystream
+/// bytes into a caller-owned buffer (used directly as DC-net pads), and
+/// [`ChaCha20::keystream`] is the allocating convenience form.
 #[derive(Clone, Debug)]
 pub struct ChaCha20 {
     /// Cipher state words: constants, key, counter, nonce.
@@ -44,6 +88,9 @@ pub struct ChaCha20 {
     buffer: [u8; BLOCK_LEN],
     /// Offset of the next unconsumed byte in `buffer`; `BLOCK_LEN` means empty.
     buffer_pos: usize,
+    /// Set once the block counter has produced its final (`u32::MAX`) block;
+    /// any further block request panics instead of repeating keystream.
+    exhausted: bool,
 }
 
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
@@ -71,6 +118,7 @@ impl ChaCha20 {
             state,
             buffer: [0u8; BLOCK_LEN],
             buffer_pos: BLOCK_LEN,
+            exhausted: false,
         }
     }
 
@@ -104,9 +152,14 @@ impl ChaCha20 {
         state[b] = state[b].rotate_left(7);
     }
 
-    /// Produces the next 64-byte keystream block and advances the counter.
-    fn next_block(&mut self) {
-        let mut working = self.state;
+    /// Runs the 20-round permutation over `init` and writes the resulting
+    /// feed-forwarded 64-byte keystream block to `out`.
+    ///
+    /// This is the single-block reference path; the multi-block engine in
+    /// [`ChaCha20::quad_blocks_into`] is property-tested against it.
+    fn block_into(init: &[u32; 16], out: &mut [u8]) {
+        debug_assert_eq!(out.len(), BLOCK_LEN);
+        let mut working = *init;
         for _ in 0..10 {
             // Column rounds.
             Self::quarter_round(&mut working, 0, 4, 8, 12);
@@ -120,31 +173,231 @@ impl ChaCha20 {
             Self::quarter_round(&mut working, 3, 4, 9, 14);
         }
         for (i, &mixed) in working.iter().enumerate() {
-            let word = mixed.wrapping_add(self.state[i]);
-            self.buffer[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
+            let word = mixed.wrapping_add(init[i]);
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_le_bytes());
         }
-        self.state[12] = self.state[12].wrapping_add(1);
+    }
+
+    /// Lane-wise wrapping add over one word row of the word-sliced state.
+    #[inline]
+    fn vadd(x: [u32; LANES], y: [u32; LANES]) -> [u32; LANES] {
+        let mut out = x;
+        for (lane, &rhs) in out.iter_mut().zip(y.iter()) {
+            *lane = lane.wrapping_add(rhs);
+        }
+        out
+    }
+
+    /// Lane-wise XOR over one word row of the word-sliced state.
+    #[inline]
+    fn vxor(x: [u32; LANES], y: [u32; LANES]) -> [u32; LANES] {
+        let mut out = x;
+        for (lane, &rhs) in out.iter_mut().zip(y.iter()) {
+            *lane ^= rhs;
+        }
+        out
+    }
+
+    /// Lane-wise left rotation by a constant over one word row.
+    #[inline]
+    fn vrot<const N: u32>(x: [u32; LANES]) -> [u32; LANES] {
+        let mut out = x;
+        for lane in out.iter_mut() {
+            *lane = lane.rotate_left(N);
+        }
+        out
+    }
+
+    /// One quarter-round position applied to all lanes of the word-sliced
+    /// state. `v[i]` holds state word `i` for every lane, so each of these
+    /// operations is an independent elementwise pass over a small `u32`
+    /// array — exactly the shape LLVM turns into single SIMD instructions
+    /// (and, failing that, four parallel scalar dependency chains).
+    #[inline]
+    fn quad_quarter_round(v: &mut [[u32; LANES]; 16], a: usize, b: usize, c: usize, d: usize) {
+        v[a] = Self::vadd(v[a], v[b]);
+        v[d] = Self::vrot::<16>(Self::vxor(v[d], v[a]));
+        v[c] = Self::vadd(v[c], v[d]);
+        v[b] = Self::vrot::<12>(Self::vxor(v[b], v[c]));
+        v[a] = Self::vadd(v[a], v[b]);
+        v[d] = Self::vrot::<8>(Self::vxor(v[d], v[a]));
+        v[c] = Self::vadd(v[c], v[d]);
+        v[b] = Self::vrot::<7>(Self::vxor(v[b], v[c]));
+    }
+
+    /// Advances the block counter by `blocks`, recording exhaustion when it
+    /// wraps (the wrapping block itself was legal; the *next* request panics).
+    fn advance_counter(&mut self, blocks: u32) {
+        let (next, wrapped) = self.state[12].overflowing_add(blocks);
+        self.state[12] = next;
+        self.exhausted |= wrapped;
+    }
+
+    /// Generates one block into `out` (len `BLOCK_LEN`) and advances the
+    /// counter.
+    fn one_block_into(&mut self, out: &mut [u8]) {
+        assert!(!self.exhausted, "{EXHAUSTED}");
+        Self::block_into(&self.state, out);
+        self.advance_counter(1);
+    }
+
+    /// Generates four consecutive blocks into `out` (len `4 * BLOCK_LEN`)
+    /// via the interleaved-lane engine, falling back to the single-block
+    /// path when the counter is within four blocks of wrapping.
+    fn quad_blocks_into(&mut self, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), LANES * BLOCK_LEN);
+        let counter = self.state[12];
+        if self.exhausted || counter.checked_add(LANES_U32 - 1).is_none() {
+            for block in out.chunks_exact_mut(BLOCK_LEN) {
+                self.one_block_into(block);
+            }
+            return;
+        }
+        // Word-sliced ("vertical") layout: `v[i]` holds state word `i` of
+        // all four lanes, so every quarter-round step is an elementwise op
+        // over a `[u32; LANES]` row that vectorises to one SIMD instruction.
+        let mut v = [[0u32; LANES]; 16];
+        for (row, &word) in v.iter_mut().zip(self.state.iter()) {
+            *row = [word; LANES];
+        }
+        for (offset, lane) in (0u32..).zip(v[12].iter_mut()) {
+            *lane = counter + offset;
+        }
+        let init = v;
+        for _ in 0..10 {
+            // Column rounds across all four lanes, then diagonal rounds.
+            Self::quad_quarter_round(&mut v, 0, 4, 8, 12);
+            Self::quad_quarter_round(&mut v, 1, 5, 9, 13);
+            Self::quad_quarter_round(&mut v, 2, 6, 10, 14);
+            Self::quad_quarter_round(&mut v, 3, 7, 11, 15);
+            Self::quad_quarter_round(&mut v, 0, 5, 10, 15);
+            Self::quad_quarter_round(&mut v, 1, 6, 11, 12);
+            Self::quad_quarter_round(&mut v, 2, 7, 8, 13);
+            Self::quad_quarter_round(&mut v, 3, 4, 9, 14);
+        }
+        for (lane, block) in out.chunks_exact_mut(BLOCK_LEN).enumerate() {
+            for (i, chunk) in block.chunks_exact_mut(4).enumerate() {
+                // Feed-forward adds each lane's *initial* state, which
+                // differs from `self.state` only in the counter word.
+                let word = v[i][lane].wrapping_add(init[i][lane]);
+                chunk.copy_from_slice(&word.to_le_bytes());
+            }
+        }
+        self.advance_counter(LANES_U32);
+    }
+
+    /// Produces the next 64-byte keystream block into the internal buffer
+    /// and advances the counter.
+    fn next_block(&mut self) {
+        assert!(!self.exhausted, "{EXHAUSTED}");
+        Self::block_into(&self.state, &mut self.buffer);
+        self.advance_counter(1);
         self.buffer_pos = 0;
     }
 
     /// XORs the keystream into `data` in place (encrypts or decrypts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request would advance the block counter past
+    /// [`MAX_KEYSTREAM_BLOCKS`] (see the module docs on exhaustion).
     pub fn apply_keystream(&mut self, data: &mut [u8]) {
-        for byte in data.iter_mut() {
-            if self.buffer_pos == BLOCK_LEN {
-                self.next_block();
-            }
-            *byte ^= self.buffer[self.buffer_pos];
-            self.buffer_pos += 1;
+        // Drain any partially consumed buffered block first.
+        let buffered = (BLOCK_LEN - self.buffer_pos).min(data.len());
+        let (head, rest) = data.split_at_mut(buffered);
+        xor_into(
+            head,
+            &self.buffer[self.buffer_pos..self.buffer_pos + buffered],
+        );
+        self.buffer_pos += buffered;
+
+        // Bulk: generate keystream four blocks at a time into a stack
+        // buffer and XOR it in with u64 lanes.
+        let mut keystream = [0u8; LANES * BLOCK_LEN];
+        let mut quads = rest.chunks_exact_mut(LANES * BLOCK_LEN);
+        for quad in quads.by_ref() {
+            self.quad_blocks_into(&mut keystream);
+            xor_into(quad, &keystream);
+        }
+        let tail = quads.into_remainder();
+        let mut blocks = tail.chunks_exact_mut(BLOCK_LEN);
+        for block in blocks.by_ref() {
+            self.one_block_into(&mut keystream[..BLOCK_LEN]);
+            xor_into(block, &keystream[..BLOCK_LEN]);
+        }
+
+        // Partial final block: stash the remainder for the next call.
+        let last = blocks.into_remainder();
+        if !last.is_empty() {
+            self.next_block();
+            xor_into(last, &self.buffer[..last.len()]);
+            self.buffer_pos = last.len();
         }
     }
 
-    /// Returns `len` raw keystream bytes.
+    /// Fills `out` with raw keystream bytes — the zero-allocation core of
+    /// DC-net pad expansion (the pad shared by nodes *i* and *j* for a round
+    /// is exactly this output under their pairwise key).
     ///
-    /// DC-net pads use the keystream directly: the pad shared by nodes *i*
-    /// and *j* for a round is exactly this output under their pairwise key.
+    /// # Panics
+    ///
+    /// Panics if the request would advance the block counter past
+    /// [`MAX_KEYSTREAM_BLOCKS`] (see the module docs on exhaustion).
+    pub fn keystream_into(&mut self, out: &mut [u8]) {
+        let buffered = (BLOCK_LEN - self.buffer_pos).min(out.len());
+        let (head, rest) = out.split_at_mut(buffered);
+        head.copy_from_slice(&self.buffer[self.buffer_pos..self.buffer_pos + buffered]);
+        self.buffer_pos += buffered;
+
+        let mut quads = rest.chunks_exact_mut(LANES * BLOCK_LEN);
+        for quad in quads.by_ref() {
+            self.quad_blocks_into(quad);
+        }
+        let tail = quads.into_remainder();
+        let mut blocks = tail.chunks_exact_mut(BLOCK_LEN);
+        for block in blocks.by_ref() {
+            self.one_block_into(block);
+        }
+
+        let last = blocks.into_remainder();
+        if !last.is_empty() {
+            self.next_block();
+            last.copy_from_slice(&self.buffer[..last.len()]);
+            self.buffer_pos = last.len();
+        }
+    }
+
+    /// Writes `src XOR keystream` into `dst` — the fused form used by the
+    /// DC-net contribute path (no intermediate pad buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, or if the request would
+    /// advance the block counter past [`MAX_KEYSTREAM_BLOCKS`].
+    pub fn xor_keystream_into(&mut self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(
+            dst.len(),
+            src.len(),
+            "xor_keystream_into requires equal-length slices ({} vs {})",
+            dst.len(),
+            src.len()
+        );
+        dst.copy_from_slice(src);
+        self.apply_keystream(dst);
+    }
+
+    /// Returns `len` raw keystream bytes in a fresh allocation.
+    ///
+    /// Hot paths use [`ChaCha20::keystream_into`] with a pooled buffer
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request would advance the block counter past
+    /// [`MAX_KEYSTREAM_BLOCKS`] (see the module docs on exhaustion).
     pub fn keystream(&mut self, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
-        self.apply_keystream(&mut out);
+        self.keystream_into(&mut out);
         out
     }
 }
@@ -153,13 +406,59 @@ impl ChaCha20 {
 mod tests {
     use super::*;
     use crate::hex;
+    use proptest::prelude::*;
+
+    /// The original byte-at-a-time buffered implementation, kept verbatim as
+    /// the reference oracle for the multi-block engine.
+    struct ReferenceChaCha20 {
+        state: [u32; 16],
+        buffer: [u8; BLOCK_LEN],
+        buffer_pos: usize,
+    }
+
+    impl ReferenceChaCha20 {
+        fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+            Self::like(&ChaCha20::new(key, nonce, counter))
+        }
+
+        fn like(fast: &ChaCha20) -> Self {
+            Self {
+                state: fast.state,
+                buffer: [0u8; BLOCK_LEN],
+                buffer_pos: BLOCK_LEN,
+            }
+        }
+
+        fn next_block(&mut self) {
+            let state = self.state;
+            ChaCha20::block_into(&state, &mut self.buffer);
+            self.state[12] = self.state[12].wrapping_add(1);
+            self.buffer_pos = 0;
+        }
+
+        fn apply_keystream(&mut self, data: &mut [u8]) {
+            for byte in data.iter_mut() {
+                if self.buffer_pos == BLOCK_LEN {
+                    self.next_block();
+                }
+                *byte ^= self.buffer[self.buffer_pos];
+                self.buffer_pos += 1;
+            }
+        }
+
+        fn keystream(&mut self, len: usize) -> Vec<u8> {
+            let mut out = vec![0u8; len];
+            self.apply_keystream(&mut out);
+            out
+        }
+    }
 
     /// RFC 8439 §2.3.2 test vector: key 00..1f, nonce 00 00 00 09 00 00 00 4a
     /// 00 00 00 00, counter 1 — checked via the §2.4.2 encryption vector below,
     /// and the keystream-block vector here.
     #[test]
     fn rfc8439_block_function_vector() {
-        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let key: [u8; 32] = core::array::from_fn(|i| u8::try_from(i).unwrap());
         let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let mut cipher = ChaCha20::new(&key, &nonce, 1);
         let ks = cipher.keystream(64);
@@ -173,7 +472,7 @@ mod tests {
     /// RFC 8439 §2.4.2: encryption of the "sunscreen" plaintext.
     #[test]
     fn rfc8439_encryption_vector() {
-        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let key: [u8; 32] = core::array::from_fn(|i| u8::try_from(i).unwrap());
         let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let mut data = plaintext.to_vec();
@@ -192,7 +491,9 @@ mod tests {
     fn encrypt_decrypt_round_trip() {
         let key = [0xabu8; 32];
         let nonce = [0x01u8; 12];
-        let original: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        let original: Vec<u8> = (0..500u32)
+            .map(|i| u8::try_from(i % 251).unwrap())
+            .collect();
         let mut data = original.clone();
 
         ChaCha20::new(&key, &nonce, 7).apply_keystream(&mut data);
@@ -217,6 +518,40 @@ mod tests {
     }
 
     #[test]
+    fn keystream_into_matches_keystream() {
+        let key = [4u8; 32];
+        let nonce = [6u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 255, 256, 257, 300, 1024] {
+            let expected = ChaCha20::new(&key, &nonce, 0).keystream(len);
+            let mut buf = vec![0xEEu8; len];
+            ChaCha20::new(&key, &nonce, 0).keystream_into(&mut buf);
+            assert_eq!(buf, expected, "length {len}");
+        }
+    }
+
+    #[test]
+    fn xor_keystream_into_is_fused_copy_then_encrypt() {
+        let key = [8u8; 32];
+        let nonce = [2u8; 12];
+        let src: Vec<u8> = (0u16..777)
+            .map(|i| u8::try_from(i % 256).unwrap())
+            .collect();
+        let mut expected = src.clone();
+        ChaCha20::new(&key, &nonce, 5).apply_keystream(&mut expected);
+        let mut dst = vec![0u8; src.len()];
+        ChaCha20::new(&key, &nonce, 5).xor_keystream_into(&mut dst, &src);
+        assert_eq!(dst, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn xor_keystream_into_panics_on_length_mismatch() {
+        let mut cipher = ChaCha20::for_round(&[1u8; 32], 0);
+        let mut dst = [0u8; 4];
+        cipher.xor_keystream_into(&mut dst, &[0u8; 5]);
+    }
+
+    #[test]
     fn different_rounds_give_independent_pads() {
         let key = [5u8; 32];
         let pad_round_1 = ChaCha20::for_round(&key, 1).keystream(64);
@@ -232,12 +567,88 @@ mod tests {
     }
 
     #[test]
-    fn counter_overflow_wraps_without_panic() {
+    fn final_block_at_counter_max_is_still_produced() {
         let key = [0u8; 32];
         let nonce = [0u8; 12];
+        // The block with counter u32::MAX is the last legal one.
         let mut cipher = ChaCha20::new(&key, &nonce, u32::MAX);
-        // Crossing the 32-bit counter boundary must not panic.
-        let ks = cipher.keystream(130);
-        assert_eq!(ks.len(), 130);
+        let ks = cipher.keystream(64);
+        assert_eq!(ks.len(), 64);
+        let mut reference = ReferenceChaCha20::new(&key, &nonce, u32::MAX);
+        assert_eq!(ks, reference.keystream(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "keystream exhausted")]
+    fn keystream_past_counter_wrap_panics() {
+        let mut cipher = ChaCha20::new(&[0u8; 32], &[0u8; 12], u32::MAX);
+        // 65 bytes need two blocks; the second would reuse counter 0.
+        cipher.keystream(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "keystream exhausted")]
+    fn keystream_into_past_counter_wrap_panics() {
+        let mut cipher = ChaCha20::new(&[0u8; 32], &[0u8; 12], u32::MAX - 1);
+        let mut buf = [0u8; 4 * BLOCK_LEN];
+        cipher.keystream_into(&mut buf);
+    }
+
+    #[test]
+    fn near_wrap_multi_block_falls_back_to_reference() {
+        // Two blocks of headroom: the quad path must defer to the
+        // single-block fallback and still match the oracle exactly.
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        let counter = u32::MAX - 1;
+        let mut fast = ChaCha20::new(&key, &nonce, counter);
+        let mut buf = [0u8; 2 * BLOCK_LEN];
+        fast.keystream_into(&mut buf);
+        let mut reference = ReferenceChaCha20::new(&key, &nonce, counter);
+        assert_eq!(buf.to_vec(), reference.keystream(2 * BLOCK_LEN));
+    }
+
+    proptest! {
+        /// The multi-block engine is byte-identical to the single-block
+        /// reference oracle over arbitrary lengths and chunk boundaries.
+        #[test]
+        fn prop_multi_block_matches_reference(
+            key in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            counter in 0u32..1024,
+            chunks in proptest::collection::vec(0usize..600, 1..5),
+        ) {
+            let mut reference = ReferenceChaCha20::new(&key, &nonce, counter);
+            let mut fast = ChaCha20::new(&key, &nonce, counter);
+            for len in chunks {
+                let expected = reference.keystream(len);
+                let mut got = vec![0u8; len];
+                fast.keystream_into(&mut got);
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        /// `apply_keystream` (the XOR form) agrees with the reference too,
+        /// at arbitrary split offsets within one stream.
+        #[test]
+        fn prop_apply_keystream_matches_reference(
+            key in any::<[u8; 32]>(),
+            round in any::<u64>(),
+            len in 0usize..700,
+            split in 0usize..700,
+        ) {
+            let split = split.min(len);
+            let data: Vec<u8> = (0..len).map(|i| u8::try_from(i % 251).unwrap()).collect();
+            let mut expected = data.clone();
+            let mut reference = ReferenceChaCha20::like(&ChaCha20::for_round(&key, round));
+            reference.apply_keystream(&mut expected);
+
+            let mut got = data;
+            let mut fast = ChaCha20::for_round(&key, round);
+            let (a, b) = got.split_at_mut(split);
+            fast.apply_keystream(a);
+            fast.apply_keystream(b);
+            prop_assert_eq!(got, expected);
+        }
     }
 }

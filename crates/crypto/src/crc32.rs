@@ -24,8 +24,8 @@ fn table() -> &'static [u32; 256] {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
-            let mut crc = i as u32;
+        for (i, entry) in (0u32..).zip(table.iter_mut()) {
+            let mut crc = i;
             for _ in 0..8 {
                 crc = if crc & 1 == 1 {
                     (crc >> 1) ^ POLYNOMIAL

@@ -79,6 +79,7 @@ impl fmt::Debug for KeyPair {
 
 /// Modular multiplication via 128-bit intermediates.
 #[inline]
+#[allow(clippy::cast_possible_truncation)] // the % reduces below the u64 modulus
 fn mul_mod(a: u64, b: u64, modulus: u64) -> u64 {
     ((a as u128 * b as u128) % modulus as u128) as u64
 }

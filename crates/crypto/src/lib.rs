@@ -48,6 +48,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Keystream generation and digest packing cast between integer widths on
+// hot paths; every remaining cast site must either be provably lossless or
+// carry an explicit allow with the reason.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::cast_sign_loss)]
 
 pub mod chacha20;
 pub mod crc32;

@@ -14,14 +14,21 @@
 //! The explicit share-splitting variant of Fig. 4 is implemented in the
 //! `fnp-dcnet` crate on top of [`random_shares`].
 //!
+//! Pad generation is stateless — each round's pad is an independent
+//! ChaCha20 stream keyed by `(pairwise key, round)` — so every operation
+//! takes `&self` and a generator can be shared freely. The hot DC-net
+//! contribute path uses the fused [`PadGenerator::xor_pad_into`], which
+//! XORs the keystream directly into the contribution slot without ever
+//! materialising a pad buffer.
+//!
 //! # Examples
 //!
 //! ```
 //! use fnp_crypto::prg::PadGenerator;
 //!
 //! let key = [7u8; 32];
-//! let mut alice = PadGenerator::new(key);
-//! let mut bob = PadGenerator::new(key);
+//! let alice = PadGenerator::new(key);
+//! let bob = PadGenerator::new(key);
 //! assert_eq!(alice.pad(0, 128), bob.pad(0, 128));
 //! assert_ne!(alice.pad(0, 128), alice.pad(1, 128));
 //! ```
@@ -45,13 +52,31 @@ impl PadGenerator {
     ///
     /// The pad is the ChaCha20 keystream under the pairwise key with the
     /// round number as nonce; both endpoints of the pair derive the
-    /// identical bytes.
-    pub fn pad(&mut self, round: u64, len: usize) -> Vec<u8> {
+    /// identical bytes. Allocates — hot paths use
+    /// [`PadGenerator::pad_into`] or [`PadGenerator::xor_pad_into`].
+    pub fn pad(&self, round: u64, len: usize) -> Vec<u8> {
         ChaCha20::for_round(&self.key, round).keystream(len)
+    }
+
+    /// Writes the pad for `round` into `out` (caller-owned, no allocation).
+    pub fn pad_into(&self, round: u64, out: &mut [u8]) {
+        ChaCha20::for_round(&self.key, round).keystream_into(out);
+    }
+
+    /// XORs the pad for `round` into `dst` in place — the fused form used
+    /// by the DC-net contribute path: the keystream goes straight from the
+    /// cipher's block function into the contribution slot, with no pad
+    /// buffer in between.
+    pub fn xor_pad_into(&self, round: u64, dst: &mut [u8]) {
+        ChaCha20::for_round(&self.key, round).apply_keystream(dst);
     }
 }
 
 /// XORs `src` into `dst` element-wise.
+///
+/// The loop runs over `u64` lanes with a scalar tail; byte order is
+/// irrelevant to XOR, so native-endian lane loads preserve the byte-wise
+/// semantics exactly (property-tested below).
 ///
 /// # Panics
 ///
@@ -65,7 +90,18 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
         dst.len(),
         src.len()
     );
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
+    let mut dst_lanes = dst.chunks_exact_mut(8);
+    let mut src_lanes = src.chunks_exact(8);
+    for (d, s) in dst_lanes.by_ref().zip(src_lanes.by_ref()) {
+        let lane = u64::from_ne_bytes(d.as_ref().try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&lane.to_ne_bytes());
+    }
+    for (d, s) in dst_lanes
+        .into_remainder()
+        .iter_mut()
+        .zip(src_lanes.remainder())
+    {
         *d ^= s;
     }
 }
@@ -131,11 +167,19 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    /// The plain byte-wise XOR the lane version must be equivalent to.
+    fn xor_into_bytewise(dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len());
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= s;
+        }
+    }
+
     #[test]
     fn both_endpoints_derive_identical_pads() {
         let key = [0x11u8; 32];
-        let mut a = PadGenerator::new(key);
-        let mut b = PadGenerator::new(key);
+        let a = PadGenerator::new(key);
+        let b = PadGenerator::new(key);
         for round in 0..10u64 {
             assert_eq!(a.pad(round, 256), b.pad(round, 256));
         }
@@ -143,10 +187,27 @@ mod tests {
 
     #[test]
     fn pads_differ_across_rounds_and_keys() {
-        let mut a = PadGenerator::new([1u8; 32]);
-        let mut b = PadGenerator::new([2u8; 32]);
+        let a = PadGenerator::new([1u8; 32]);
+        let b = PadGenerator::new([2u8; 32]);
         assert_ne!(a.pad(0, 64), a.pad(1, 64));
         assert_ne!(a.pad(0, 64), b.pad(0, 64));
+    }
+
+    #[test]
+    fn pad_into_and_xor_pad_into_match_pad() {
+        let generator = PadGenerator::new([0x21u8; 32]);
+        for len in [0usize, 1, 64, 100, 512, 513] {
+            let reference = generator.pad(3, len);
+
+            let mut buf = vec![0xAAu8; len];
+            generator.pad_into(3, &mut buf);
+            assert_eq!(buf, reference, "pad_into length {len}");
+
+            let base: Vec<u8> = (0..len).map(|i| u8::try_from(i % 256).unwrap()).collect();
+            let mut fused = base.clone();
+            generator.xor_pad_into(3, &mut fused);
+            assert_eq!(fused, xor(&base, &reference), "xor_pad_into length {len}");
+        }
     }
 
     #[test]
@@ -233,10 +294,27 @@ mod tests {
             prop_assert_eq!(xor(&c, &b), a);
         }
 
+        /// The u64-lane XOR is byte-for-byte equivalent to the byte-wise
+        /// loop it replaced, across lengths that straddle lane boundaries.
+        #[test]
+        fn prop_lane_xor_matches_bytewise(
+            a in proptest::collection::vec(any::<u8>(), 0..200),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = vec![0u8; a.len()];
+            Rng::fill(&mut rng, b.as_mut_slice());
+            let mut lanes = a.clone();
+            xor_into(&mut lanes, &b);
+            let mut bytes = a;
+            xor_into_bytewise(&mut bytes, &b);
+            prop_assert_eq!(lanes, bytes);
+        }
+
         #[test]
         fn prop_pads_deterministic(key in any::<[u8; 32]>(), round in any::<u64>(), len in 0usize..512) {
-            let mut g1 = PadGenerator::new(key);
-            let mut g2 = PadGenerator::new(key);
+            let g1 = PadGenerator::new(key);
+            let g2 = PadGenerator::new(key);
             prop_assert_eq!(g1.pad(round, len), g2.pad(round, len));
         }
     }

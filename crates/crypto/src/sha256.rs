@@ -122,18 +122,19 @@ impl Sha256 {
             }
         }
 
-        // Process full blocks directly from the input.
-        while input.len() >= BLOCK_LEN {
-            let mut block = [0u8; BLOCK_LEN];
-            block.copy_from_slice(&input[..BLOCK_LEN]);
-            self.compress(&block);
-            input = &input[BLOCK_LEN..];
+        // Compress full blocks directly from the input slice — borrowed, not
+        // copied into a staging buffer (this inner loop carries all of HMAC
+        // and HKDF key derivation).
+        let mut blocks = input.chunks_exact(BLOCK_LEN);
+        for block in blocks.by_ref() {
+            self.compress(block.try_into().expect("exact 64-byte chunk"));
         }
 
         // Stash the remainder.
-        if !input.is_empty() {
-            self.buffer[..input.len()].copy_from_slice(input);
-            self.buffered = input.len();
+        let rest = blocks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
         }
     }
 
@@ -174,13 +175,14 @@ impl Sha256 {
                 self.buffered = 0;
             }
         }
-        while input.len() >= BLOCK_LEN {
-            let mut block = [0u8; BLOCK_LEN];
-            block.copy_from_slice(&input[..BLOCK_LEN]);
-            self.compress(&block);
-            input = &input[BLOCK_LEN..];
+        let mut blocks = input.chunks_exact(BLOCK_LEN);
+        for block in blocks.by_ref() {
+            self.compress(block.try_into().expect("exact 64-byte chunk"));
         }
-        debug_assert!(input.is_empty(), "padding must end on a block boundary");
+        debug_assert!(
+            blocks.remainder().is_empty(),
+            "padding must end on a block boundary"
+        );
     }
 
     /// SHA-256 compression function over one 64-byte block.

@@ -285,6 +285,38 @@ fn chacha20_rfc8439_encryption() {
 }
 
 #[test]
+fn chacha20_rfc8439_multi_block_keystream_counter_1() {
+    // RFC 8439 §2.4.2's keystream starts at block counter 1 and spans two
+    // blocks. Generate four blocks in one call — exercising the interleaved
+    // multi-block engine — and check the RFC-published prefix: the published
+    // ciphertext equals plaintext ⊕ keystream.
+    let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
+    let mut keystream = [0u8; 256];
+    ChaCha20::new(&rfc8439_key(), &nonce, 1).keystream_into(&mut keystream);
+    let plaintext: &[u8] = b"Ladies and Gentlemen of the class of '99: If I could \
+                             offer you only one tip for the future, sunscreen would \
+                             be it.";
+    let xored: Vec<u8> = plaintext
+        .iter()
+        .zip(&keystream)
+        .map(|(p, k)| p ^ k)
+        .collect();
+    assert_eq!(
+        xored,
+        unhex(
+            "6e2e359a2568f98041ba0728dd0d6981\
+             e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b357\
+             1639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e\
+             52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42\
+             874d"
+        ),
+    );
+}
+
+#[test]
 fn chacha20_keystream_is_position_independent() {
     let nonce = [7u8; 12];
     let mut whole = ChaCha20::new(&rfc8439_key(), &nonce, 0);

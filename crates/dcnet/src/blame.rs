@@ -30,6 +30,7 @@
 //! Two honest members that happened to transmit in the same round are *not*
 //! blamed — that is an ordinary collision resolved by random back-off.
 
+use crate::scratch::RoundScratch;
 use crate::slot::{self, SlotOutcome};
 use fnp_crypto::prg::xor_into;
 use std::collections::BTreeMap;
@@ -144,6 +145,23 @@ pub fn investigate(
     evidence: &RoundEvidence,
     slot_len: usize,
 ) -> BlameVerdict {
+    let mut scratch = RoundScratch::new();
+    investigate_in(revelations, evidence, slot_len, &mut scratch)
+}
+
+/// Like [`investigate`], but drawing the per-member reconstruction
+/// accumulator from `scratch`, so repeated investigations (one per
+/// disrupted round in a long simulation) reuse a single buffer.
+///
+/// # Panics
+///
+/// Same conditions as [`investigate`].
+pub fn investigate_in(
+    revelations: &[MemberRevelation],
+    evidence: &RoundEvidence,
+    slot_len: usize,
+    scratch: &mut RoundScratch,
+) -> BlameVerdict {
     assert_eq!(
         revelations.len(),
         evidence.received.len(),
@@ -175,7 +193,7 @@ pub fn investigate(
         // 2/3. Reconstruct the member's actual contribution from the
         //      evidence (what everyone received from it) and classify it.
         if blamed_reason.is_none() {
-            let mut contribution = vec![0u8; slot_len];
+            let mut contribution = scratch.checkout_zeroed(slot_len);
             let mut malformed_share = false;
             for recipient_evidence in &evidence.received {
                 if let Some(share) = recipient_evidence.get(&member) {
@@ -203,6 +221,7 @@ pub fn investigate(
                     }
                 }
             }
+            scratch.recycle(contribution);
         }
 
         if let Some(reason) = blamed_reason {

@@ -24,8 +24,9 @@
 //! size `k`, i.e. `3·k·(k−1)` messages per round in total — the O(k²) cost
 //! the paper discusses in §V-A and that experiment E4 measures.
 
+use crate::scratch::RoundScratch;
 use crate::slot::{self, SlotOutcome};
-use fnp_crypto::prg::{random_shares, xor, xor_into};
+use fnp_crypto::prg::{xor, xor_into};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -150,18 +151,57 @@ impl ExplicitParticipant {
         payload: Option<&[u8]>,
         rng: &mut R,
     ) -> Result<Self, ExplicitRoundError> {
+        let mut scratch = RoundScratch::new();
+        Self::new_in(index, size, slot_len, payload, rng, &mut scratch)
+    }
+
+    /// Like [`ExplicitParticipant::new`], but drawing the slot and share
+    /// buffers from `scratch` instead of allocating them fresh.
+    ///
+    /// The RNG fill sequence is identical to the unpooled constructor (the
+    /// same number of same-length fills in the same order), so pooled and
+    /// fresh participants are byte-for-byte interchangeable for any seed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExplicitParticipant::new`].
+    pub fn new_in<R: Rng + ?Sized>(
+        index: usize,
+        size: usize,
+        slot_len: usize,
+        payload: Option<&[u8]>,
+        rng: &mut R,
+        scratch: &mut RoundScratch,
+    ) -> Result<Self, ExplicitRoundError> {
         if size < 2 {
             return Err(ExplicitRoundError::GroupTooSmall { size });
         }
         if index >= size {
             return Err(ExplicitRoundError::MemberOutOfRange { index, size });
         }
-        let own_slot = match payload {
-            Some(payload) => slot::encode(payload, slot_len)?,
-            None => slot::silence(slot_len),
-        };
-        // Step 1: one share per *other* member, XORing to the slot.
-        let shares = random_shares(rng, &own_slot, size - 1);
+        let mut own_slot = scratch.checkout();
+        match payload {
+            Some(payload) => {
+                if let Err(e) = slot::encode_into(payload, slot_len, &mut own_slot) {
+                    scratch.recycle(own_slot);
+                    return Err(e.into());
+                }
+            }
+            None => slot::silence_into(slot_len, &mut own_slot),
+        }
+        // Step 1: one share per *other* member, XORing to the slot. This
+        // mirrors `fnp_crypto::prg::random_shares` with pooled buffers: the
+        // first `size − 2` shares are uniform, the last is the accumulator.
+        let mut accumulator = scratch.checkout();
+        accumulator.extend_from_slice(&own_slot);
+        let mut shares: Vec<Vec<u8>> = Vec::with_capacity(size - 1);
+        for _ in 0..size - 2 {
+            let mut share = scratch.checkout_zeroed(own_slot.len());
+            rng.fill(share.as_mut_slice());
+            xor_into(&mut accumulator, &share);
+            shares.push(share);
+        }
+        shares.push(accumulator);
         let outgoing_shares: BTreeMap<usize, Vec<u8>> = (0..size)
             .filter(|&peer| peer != index)
             .zip(shares)
@@ -362,6 +402,27 @@ impl ExplicitParticipant {
     pub fn contributed_slot(&self) -> &[u8] {
         &self.own_slot
     }
+
+    /// Returns this participant's pooled buffers to `scratch` once the
+    /// round is over, so that consecutive rounds of any group size reuse
+    /// the same allocations. The `S`/`T` accumulators are dropped instead:
+    /// they are created outside the pool, and recycling them would grow it
+    /// without bound.
+    fn recycle_into(self, scratch: &mut RoundScratch) {
+        scratch.recycle(self.own_slot);
+        for buf in self.outgoing_shares.into_values() {
+            scratch.recycle(buf);
+        }
+        for buf in self.received_shares.into_values() {
+            scratch.recycle(buf);
+        }
+        for buf in self.received_accumulations.into_values() {
+            scratch.recycle(buf);
+        }
+        for buf in self.received_finals.into_values() {
+            scratch.recycle(buf);
+        }
+    }
 }
 
 /// Aggregate report of one in-memory explicit DC-net round.
@@ -400,59 +461,107 @@ pub fn run_explicit_round<R: Rng + ?Sized>(
     slot_len: usize,
     rng: &mut R,
 ) -> Result<ExplicitRoundReport, ExplicitRoundError> {
+    let mut scratch = RoundScratch::new();
+    run_explicit_round_in(payloads, slot_len, rng, &mut scratch)
+}
+
+/// Like [`run_explicit_round`], but drawing every slot, share and message
+/// buffer from `scratch` and recycling them all when the round completes.
+///
+/// An explicit round moves `4·k·(k−1) + k` buffers of `slot_len` bytes;
+/// with a warm scratch none of them is allocated. The report is
+/// byte-for-byte identical to the unpooled driver for the same RNG seed
+/// (the fill sequence is preserved exactly), which is what lets the
+/// experiment harnesses pool buffers across trials without perturbing any
+/// published figure.
+///
+/// # Errors
+///
+/// Same conditions as [`run_explicit_round`].
+pub fn run_explicit_round_in<R: Rng + ?Sized>(
+    payloads: &[Option<Vec<u8>>],
+    slot_len: usize,
+    rng: &mut R,
+    scratch: &mut RoundScratch,
+) -> Result<ExplicitRoundReport, ExplicitRoundError> {
     let size = payloads.len();
-    let mut members: Vec<ExplicitParticipant> = payloads
-        .iter()
-        .enumerate()
-        .map(|(index, payload)| {
-            ExplicitParticipant::new(index, size, slot_len, payload.as_deref(), rng)
-        })
-        .collect::<Result<_, _>>()?;
+    let mut members: Vec<ExplicitParticipant> = Vec::with_capacity(size);
+    for (index, payload) in payloads.iter().enumerate() {
+        members.push(ExplicitParticipant::new_in(
+            index,
+            size,
+            slot_len,
+            payload.as_deref(),
+            rng,
+            scratch,
+        )?);
+    }
 
     let mut messages_sent = 0u64;
     let mut bytes_sent = 0u64;
 
+    // One flat delivery list reused for all three exchanges; the message
+    // payloads are pooled copies, which the recipients keep and recycle at
+    // the end of the round via `recycle_into`.
+    let mut deliveries: Vec<(usize, usize, Vec<u8>)> =
+        Vec::with_capacity(size.saturating_sub(1) * size);
+
     // Step 2 → 3.
-    let share_batches: Vec<Vec<(usize, Vec<u8>)>> =
-        members.iter().map(|m| m.share_messages()).collect();
-    for (sender, batch) in share_batches.into_iter().enumerate() {
-        for (recipient, share) in batch {
-            messages_sent += 1;
-            bytes_sent += share.len() as u64;
-            members[recipient].receive_share(sender, share)?;
+    for member in &members {
+        for (&recipient, share) in &member.outgoing_shares {
+            let mut message = scratch.checkout();
+            message.extend_from_slice(share);
+            deliveries.push((member.index, recipient, message));
         }
+    }
+    for (sender, recipient, share) in deliveries.drain(..) {
+        messages_sent += 1;
+        bytes_sent += share.len() as u64;
+        members[recipient].receive_share(sender, share)?;
     }
 
     // Step 5 → 6.
-    let accumulation_batches: Vec<Vec<(usize, Vec<u8>)>> = members
-        .iter()
-        .map(|m| m.accumulation_messages().expect("all shares delivered"))
-        .collect();
-    for (sender, batch) in accumulation_batches.into_iter().enumerate() {
-        for (recipient, accumulation) in batch {
-            messages_sent += 1;
-            bytes_sent += accumulation.len() as u64;
-            members[recipient].receive_accumulation(sender, accumulation)?;
+    for member in &members {
+        let s = member.s_value.as_ref().expect("all shares delivered");
+        for (&recipient, share) in &member.received_shares {
+            let mut message = scratch.checkout();
+            message.extend_from_slice(s);
+            xor_into(&mut message, share);
+            deliveries.push((member.index, recipient, message));
         }
+    }
+    for (sender, recipient, accumulation) in deliveries.drain(..) {
+        messages_sent += 1;
+        bytes_sent += accumulation.len() as u64;
+        members[recipient].receive_accumulation(sender, accumulation)?;
     }
 
     // Step 8.
-    let final_batches: Vec<Vec<(usize, Vec<u8>)>> = members
-        .iter()
-        .map(|m| m.final_messages().expect("all accumulations delivered"))
-        .collect();
-    for (sender, batch) in final_batches.into_iter().enumerate() {
-        for (recipient, value) in batch {
-            messages_sent += 1;
-            bytes_sent += value.len() as u64;
-            members[recipient].receive_final(sender, value)?;
+    for member in &members {
+        let t = member
+            .t_value
+            .as_ref()
+            .expect("all accumulations delivered");
+        for (&recipient, accumulation) in &member.received_accumulations {
+            let mut message = scratch.checkout();
+            message.extend_from_slice(t);
+            xor_into(&mut message, accumulation);
+            deliveries.push((member.index, recipient, message));
         }
+    }
+    for (sender, recipient, value) in deliveries.drain(..) {
+        messages_sent += 1;
+        bytes_sent += value.len() as u64;
+        members[recipient].receive_final(sender, value)?;
     }
 
     let outcomes = members
         .iter()
         .map(|m| m.outcome().expect("round completed"))
         .collect();
+    for member in members {
+        member.recycle_into(scratch);
+    }
     Ok(ExplicitRoundReport {
         outcomes,
         messages_sent,

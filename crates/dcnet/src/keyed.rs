@@ -18,6 +18,7 @@
 //! (full mesh) while preserving the same anonymity set. Experiment E4
 //! contrasts the two variants.
 
+use crate::scratch::RoundScratch;
 use crate::slot::{self, SlotOutcome};
 use fnp_crypto::dh::{pairwise_pad_key, KeyPair, PublicKey};
 use fnp_crypto::prg::{xor_into, PadGenerator};
@@ -93,8 +94,11 @@ impl From<slot::PayloadTooLargeError> for KeyedDcError {
 
 /// One member of a keyed DC-net group.
 ///
-/// Holds the member's long-term key pair and the pad generators shared with
-/// every other member, and produces one contribution per round.
+/// Holds this member's index and one *stateless* pad generator per other
+/// member. Each generator is keyed by the pairwise secret of that pair and
+/// derives a pad from the round number alone — there is no per-stream
+/// position to advance, so producing a contribution takes `&self` and the
+/// same participant can serve any round in any order.
 pub struct KeyedParticipant {
     index: usize,
     size: usize,
@@ -197,20 +201,44 @@ impl KeyedParticipant {
     ///
     /// Fails if the payload does not fit into `slot_len`.
     pub fn contribution(
-        &mut self,
+        &self,
         round: u64,
         slot_len: usize,
         payload: Option<&[u8]>,
     ) -> Result<Vec<u8>, KeyedDcError> {
-        let mut contribution = match payload {
-            Some(payload) => slot::encode(payload, slot_len)?,
-            None => slot::silence(slot_len),
-        };
-        for pad_generator in self.pads.values_mut() {
-            let pad = pad_generator.pad(round, slot_len);
-            xor_into(&mut contribution, &pad);
-        }
+        let mut contribution = Vec::with_capacity(slot_len);
+        self.contribute_into(round, slot_len, payload, &mut contribution)?;
         Ok(contribution)
+    }
+
+    /// Writes this member's contribution for `round` into `out`.
+    ///
+    /// In-place form of [`KeyedParticipant::contribution`], and the DC-net
+    /// contribute hot path: the framed slot is built directly in `out` and
+    /// each pairwise pad keystream is XORed into it with the fused
+    /// [`PadGenerator::xor_pad_into`], so no pad buffer is ever
+    /// materialised. Once `out` carries `slot_len` bytes of capacity the
+    /// call performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the payload does not fit into `slot_len`; `out` is left
+    /// cleared in that case.
+    pub fn contribute_into(
+        &self,
+        round: u64,
+        slot_len: usize,
+        payload: Option<&[u8]>,
+        out: &mut Vec<u8>,
+    ) -> Result<(), KeyedDcError> {
+        match payload {
+            Some(payload) => slot::encode_into(payload, slot_len, out)?,
+            None => slot::silence_into(slot_len, out),
+        }
+        for pad_generator in self.pads.values() {
+            pad_generator.xor_pad_into(round, out);
+        }
+        Ok(())
     }
 }
 
@@ -221,24 +249,58 @@ impl KeyedParticipant {
 /// Fails if fewer than two contributions are provided or they disagree in
 /// length.
 pub fn combine_contributions(contributions: &[Vec<u8>]) -> Result<SlotOutcome, KeyedDcError> {
-    if contributions.len() < 2 {
+    let mut combined = Vec::new();
+    combine_contributions_into(contributions.iter().map(Vec::as_slice), &mut combined)
+}
+
+/// Combines borrowed contribution slices into the round outcome, using
+/// `combined` as the XOR accumulator (cleared first, capacity reused).
+///
+/// Allocation-free core of [`combine_contributions`]: the simulator's
+/// resolve path feeds contribution slices straight out of its receive map
+/// and keeps the accumulator pooled across rounds, so nothing is cloned or
+/// allocated to combine a round (the recovered message itself is the one
+/// exception, and only on message rounds).
+///
+/// # Errors
+///
+/// Fails if fewer than two contributions are provided or they disagree in
+/// length.
+pub fn combine_contributions_into<'a, I>(
+    contributions: I,
+    combined: &mut Vec<u8>,
+) -> Result<SlotOutcome, KeyedDcError>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut iter = contributions.into_iter();
+    let Some(first) = iter.next() else {
         return Err(KeyedDcError::MissingContributions {
-            received: contributions.len(),
+            received: 0,
             expected: 2,
         });
-    }
-    let slot_len = contributions[0].len();
-    let mut combined = vec![0u8; slot_len];
-    for contribution in contributions {
+    };
+    let slot_len = first.len();
+    combined.clear();
+    combined.extend_from_slice(first);
+    let mut received = 1usize;
+    for contribution in iter {
         if contribution.len() != slot_len {
             return Err(KeyedDcError::WrongSlotLength {
                 received: contribution.len(),
                 expected: slot_len,
             });
         }
-        xor_into(&mut combined, contribution);
+        xor_into(combined, contribution);
+        received += 1;
     }
-    Ok(slot::decode(&combined))
+    if received < 2 {
+        return Err(KeyedDcError::MissingContributions {
+            received,
+            expected: 2,
+        });
+    }
+    Ok(slot::decode(combined))
 }
 
 /// A whole keyed DC-net group: key pairs, participants and round driving.
@@ -249,6 +311,11 @@ pub fn combine_contributions(contributions: &[Vec<u8>]) -> Result<SlotOutcome, K
 pub struct KeyedDcGroup {
     participants: Vec<KeyedParticipant>,
     slot_len: usize,
+    /// Pool feeding `round_slots` and the combine accumulator, so that
+    /// steady-state rounds run without heap allocation.
+    scratch: RoundScratch,
+    /// One pooled contribution buffer per member, kept across rounds.
+    round_slots: Vec<Vec<u8>>,
 }
 
 impl fmt::Debug for KeyedDcGroup {
@@ -298,6 +365,8 @@ impl KeyedDcGroup {
         Ok(Self {
             participants,
             slot_len,
+            scratch: RoundScratch::new(),
+            round_slots: Vec::new(),
         })
     }
 
@@ -318,6 +387,11 @@ impl KeyedDcGroup {
     /// implies: every member sends its contribution to every other member,
     /// i.e. `k·(k−1)` messages of `slot_len` bytes.
     ///
+    /// Contribution buffers and the combine accumulator are pooled inside
+    /// the group, so after the first round this path performs no heap
+    /// allocation on silence and collision rounds (message rounds allocate
+    /// exactly the recovered payload).
+    ///
     /// # Errors
     ///
     /// Fails if the payload list length does not match the group size or a
@@ -334,15 +408,22 @@ impl KeyedDcGroup {
             });
         }
         let slot_len = self.slot_len;
-        let contributions: Vec<Vec<u8>> = self
+        while self.round_slots.len() < self.participants.len() {
+            self.round_slots.push(self.scratch.checkout());
+        }
+        for ((participant, payload), slot_buf) in self
             .participants
-            .iter_mut()
+            .iter()
             .zip(payloads.iter())
-            .map(|(participant, payload)| {
-                participant.contribution(round, slot_len, payload.as_deref())
-            })
-            .collect::<Result<_, _>>()?;
-        let outcome = combine_contributions(&contributions)?;
+            .zip(self.round_slots.iter_mut())
+        {
+            participant.contribute_into(round, slot_len, payload.as_deref(), slot_buf)?;
+        }
+        let mut combined = self.scratch.checkout();
+        let outcome =
+            combine_contributions_into(self.round_slots.iter().map(Vec::as_slice), &mut combined);
+        self.scratch.recycle(combined);
+        let outcome = outcome?;
         let k = self.participants.len() as u64;
         Ok(KeyedRoundReport {
             outcome,
@@ -459,14 +540,14 @@ mod tests {
     fn contributions_hide_the_sender() {
         // No single contribution decodes as the message: each is masked by
         // pads unknown to an outside observer.
-        let mut group = KeyedDcGroup::new(5, 64, &mut rng(8)).unwrap();
+        let group = KeyedDcGroup::new(5, 64, &mut rng(8)).unwrap();
         let message = b"hidden".to_vec();
         let mut payloads = vec![None; 5];
         payloads[1] = Some(message.clone());
         // Reach into the round manually to inspect contributions.
         let contributions: Vec<Vec<u8>> = group
             .participants
-            .iter_mut()
+            .iter()
             .zip(payloads.iter())
             .map(|(p, m)| p.contribution(3, 64, m.as_deref()).unwrap())
             .collect();
@@ -479,6 +560,64 @@ mod tests {
         assert_eq!(
             combine_contributions(&contributions).unwrap(),
             SlotOutcome::Message(message)
+        );
+    }
+
+    #[test]
+    fn contribute_into_matches_contribution_across_slot_lengths() {
+        // One pooled buffer reused while the slot size grows and shrinks
+        // must reproduce the allocating path byte for byte.
+        let group = KeyedDcGroup::new(3, 64, &mut rng(12)).unwrap();
+        let participant = &group.participants[0];
+        let mut buf = Vec::new();
+        for (round, slot_len) in [(0u64, 64usize), (1, 512), (2, 64), (3, 16)] {
+            participant
+                .contribute_into(round, slot_len, Some(b"msg"), &mut buf)
+                .unwrap();
+            assert_eq!(
+                buf,
+                participant
+                    .contribution(round, slot_len, Some(b"msg"))
+                    .unwrap(),
+                "slot_len {slot_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn contribute_into_clears_the_buffer_on_oversized_payload() {
+        let group = KeyedDcGroup::new(3, 32, &mut rng(13)).unwrap();
+        let mut buf = b"stale".to_vec();
+        let err = group.participants[0]
+            .contribute_into(0, 32, Some(&[0u8; 100]), &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, KeyedDcError::PayloadTooLarge(_)));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn combine_contributions_into_matches_combine_contributions() {
+        let group = KeyedDcGroup::new(4, 64, &mut rng(14)).unwrap();
+        let mut payloads = vec![None; 4];
+        payloads[0] = Some(b"borrowed".to_vec());
+        let contributions: Vec<Vec<u8>> = group
+            .participants
+            .iter()
+            .zip(payloads.iter())
+            .map(|(p, m)| p.contribution(9, 64, m.as_deref()).unwrap())
+            .collect();
+        let mut accumulator = b"dirty accumulator".to_vec();
+        assert_eq!(
+            combine_contributions_into(contributions.iter().map(Vec::as_slice), &mut accumulator)
+                .unwrap(),
+            combine_contributions(&contributions).unwrap()
+        );
+        assert_eq!(
+            combine_contributions_into(std::iter::empty(), &mut accumulator).unwrap_err(),
+            KeyedDcError::MissingContributions {
+                received: 0,
+                expected: 2
+            }
         );
     }
 
@@ -508,8 +647,8 @@ mod tests {
             .map(|(peer, public)| (peer, pairwise_pad_key(&key_pairs[1], public)))
             .collect();
 
-        let mut fresh = KeyedParticipant::new(1, &key_pairs[1], &publics).unwrap();
-        let mut cached = KeyedParticipant::from_pad_keys(1, 4, derived).unwrap();
+        let fresh = KeyedParticipant::new(1, &key_pairs[1], &publics).unwrap();
+        let cached = KeyedParticipant::from_pad_keys(1, 4, derived).unwrap();
         assert_eq!(cached.index(), 1);
         assert_eq!(cached.group_size(), 4);
         for round in [0, 7, u64::MAX] {

@@ -21,6 +21,9 @@
 //!   byte-cost model of experiment E9.
 //! * [`blame`] — the von-Ahn-style misbehaviour investigation discussed in
 //!   §V-C, and the cheaper "dissolve the group" policy.
+//! * [`scratch`] — a buffer pool ([`RoundScratch`]) that the round drivers
+//!   above draw their per-round slot and share buffers from, so simulations
+//!   running millions of rounds reuse a bounded set of allocations.
 //!
 //! # Example: one anonymous transmission within a group of five
 //!
@@ -45,22 +48,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The round drivers cast slot lengths and message counts between integer
+// widths; every remaining cast site must either be provably lossless or
+// carry an explicit allow with the reason.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::cast_sign_loss)]
 
 pub mod blame;
 pub mod explicit;
 pub mod keyed;
 pub mod reservation;
+pub mod scratch;
 pub mod slot;
 
 pub use blame::{
-    investigate, BlamePolicy, BlameReason, BlameVerdict, MemberRevelation, RoundEvidence,
+    investigate, investigate_in, BlamePolicy, BlameReason, BlameVerdict, MemberRevelation,
+    RoundEvidence,
 };
-pub use explicit::{run_explicit_round, ExplicitParticipant, ExplicitRoundReport};
-pub use keyed::{combine_contributions, KeyedDcGroup, KeyedParticipant, KeyedRoundReport};
+pub use explicit::{
+    run_explicit_round, run_explicit_round_in, ExplicitParticipant, ExplicitRoundReport,
+};
+pub use keyed::{
+    combine_contributions, combine_contributions_into, KeyedDcGroup, KeyedParticipant,
+    KeyedRoundReport,
+};
 pub use reservation::{
     encode_announcement, interpret_reservation, payload_slot_len, ReservationCostModel,
     ReservationOutcome, RESERVATION_SLOT_LEN,
 };
+pub use scratch::RoundScratch;
 pub use slot::SlotOutcome;
 
 #[cfg(test)]
@@ -104,6 +120,65 @@ mod tests {
                 3 * keyed_report.messages_sent
             );
         }
+    }
+
+    /// The fused keyed contribute path and the explicit construction still
+    /// agree at the larger group sizes the benchmarks exercise.
+    #[test]
+    fn explicit_and_keyed_agree_at_bench_group_sizes() {
+        for (seed, size) in [(21u64, 16usize), (22, 32)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let slot_len = 512;
+            for scenario in 0..3 {
+                let mut payloads: Vec<Option<Vec<u8>>> = vec![None; size];
+                match scenario {
+                    0 => {}
+                    1 => payloads[size / 2] = Some(b"single sender at scale".to_vec()),
+                    _ => {
+                        payloads[0] = Some(b"first".to_vec());
+                        payloads[size - 1] = Some(b"second".to_vec());
+                    }
+                }
+                let explicit_report = run_explicit_round(&payloads, slot_len, &mut rng).unwrap();
+                let mut keyed_group = KeyedDcGroup::new(size, slot_len, &mut rng).unwrap();
+                let keyed_report = keyed_group.run_round(0, &payloads).unwrap();
+                // Member 1 is silent in every scenario.
+                assert_eq!(
+                    explicit_report.outcomes[1], keyed_report.outcome,
+                    "k={size} scenario {scenario}"
+                );
+                assert_eq!(
+                    explicit_report.messages_sent,
+                    3 * keyed_report.messages_sent
+                );
+            }
+        }
+    }
+
+    /// One scratch pool carried across groups whose size grows and then
+    /// shrinks (k 8 → 64 → 8) must reproduce the fresh-buffer rounds byte
+    /// for byte — outcomes, counts, everything.
+    #[test]
+    fn round_scratch_reuse_is_byte_identical_across_group_sizes() {
+        let mut scratch = RoundScratch::new();
+        for (step, k) in [8usize, 64, 8].into_iter().enumerate() {
+            let seed = u64::try_from(step).unwrap();
+            let mut payloads: Vec<Option<Vec<u8>>> = vec![None; k];
+            payloads[3] = Some(b"grow then shrink".to_vec());
+
+            let pooled = run_explicit_round_in(
+                &payloads,
+                96,
+                &mut StdRng::seed_from_u64(seed),
+                &mut scratch,
+            )
+            .unwrap();
+            let fresh =
+                run_explicit_round(&payloads, 96, &mut StdRng::seed_from_u64(seed)).unwrap();
+            assert_eq!(pooled, fresh, "step {step} (k={k})");
+        }
+        // The pool kept every buffer it handed out, ready for reuse.
+        assert!(scratch.pooled() > 0);
     }
 
     #[test]

@@ -224,7 +224,7 @@ mod tests {
 
         // Reservation round: member 3 announces 37 bytes.
         let mut announcements = vec![None; 5];
-        announcements[3] = encode_announcement(Some(message.len() as u32));
+        announcements[3] = encode_announcement(Some(u32::try_from(message.len()).unwrap()));
         let reservation = reservation_group.run_round(0, &announcements).unwrap();
         let reserved = interpret_reservation(&reservation.outcome);
         assert_eq!(reserved, ReservationOutcome::Reserved { payload_len: 37 });

@@ -75,21 +75,43 @@ pub fn capacity(slot_len: usize) -> usize {
 ///
 /// Returns [`PayloadTooLargeError`] if the payload does not fit.
 pub fn encode(payload: &[u8], slot_len: usize) -> Result<Vec<u8>, PayloadTooLargeError> {
+    let mut slot = Vec::with_capacity(slot_len);
+    encode_into(payload, slot_len, &mut slot)?;
+    Ok(slot)
+}
+
+/// Frames `payload` into `out`, producing exactly `slot_len` bytes.
+///
+/// In-place form of [`encode`]: `out` is cleared first and reused, so the
+/// call performs no heap allocation once `out` carries `slot_len` bytes of
+/// capacity. This is what the DC-net contribute hot path builds slots with.
+///
+/// # Errors
+///
+/// Returns [`PayloadTooLargeError`] if the payload does not fit; `out` is
+/// left cleared in that case.
+pub fn encode_into(
+    payload: &[u8],
+    slot_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), PayloadTooLargeError> {
     let cap = capacity(slot_len);
+    out.clear();
     if payload.len() > cap {
         return Err(PayloadTooLargeError {
             payload_len: payload.len(),
             capacity: cap,
         });
     }
-    let mut slot = Vec::with_capacity(slot_len);
-    slot.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    slot.extend_from_slice(payload);
-    slot.resize(slot_len - 4, 0);
-    let checksum = crc32(&slot);
-    slot.extend_from_slice(&checksum.to_le_bytes());
-    debug_assert_eq!(slot.len(), slot_len);
-    Ok(slot)
+    let declared = u32::try_from(payload.len()).expect("payload length fits the 4-byte prefix");
+    out.reserve(slot_len);
+    out.extend_from_slice(&declared.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.resize(slot_len - 4, 0);
+    let checksum = crc32(out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    debug_assert_eq!(out.len(), slot_len);
+    Ok(())
 }
 
 /// Returns an all-zero slot representing "nothing to send".
@@ -98,6 +120,12 @@ pub fn encode(payload: &[u8], slot_len: usize) -> Result<Vec<u8>, PayloadTooLarg
 /// when no member transmits, so silence needs no special casing.
 pub fn silence(slot_len: usize) -> Vec<u8> {
     vec![0u8; slot_len]
+}
+
+/// Writes an all-zero slot into `out` (cleared first, capacity reused).
+pub fn silence_into(slot_len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(slot_len, 0);
 }
 
 /// Decodes a recovered slot into a [`SlotOutcome`].
@@ -137,11 +165,46 @@ mod tests {
     #[test]
     fn round_trip_various_sizes() {
         for payload_len in [0usize, 1, 10, 100, 247] {
-            let payload: Vec<u8> = (0..payload_len).map(|i| (i % 256) as u8).collect();
+            let payload: Vec<u8> = (0..payload_len)
+                .map(|i| u8::try_from(i % 256).unwrap())
+                .collect();
             let slot = encode(&payload, 256).unwrap();
             assert_eq!(slot.len(), 256);
             assert_eq!(decode(&slot), SlotOutcome::Message(payload));
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        // Reuse the same buffer across growing and shrinking slot sizes.
+        for (payload, slot_len) in [
+            (b"first".as_slice(), 64usize),
+            (b"a longer second payload".as_slice(), 256),
+            (b"".as_slice(), 16),
+        ] {
+            encode_into(payload, slot_len, &mut buf).unwrap();
+            assert_eq!(buf, encode(payload, slot_len).unwrap());
+        }
+        let ptr = buf.as_ptr();
+        encode_into(b"again", 64, &mut buf).unwrap();
+        assert_eq!(ptr, buf.as_ptr(), "capacity is reused, not reallocated");
+    }
+
+    #[test]
+    fn encode_into_clears_the_buffer_on_error() {
+        let mut buf = b"stale".to_vec();
+        assert!(encode_into(&[0u8; 300], 64, &mut buf).is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn silence_into_matches_silence() {
+        let mut buf = b"leftover bytes".to_vec();
+        silence_into(64, &mut buf);
+        assert_eq!(buf, silence(64));
+        silence_into(8, &mut buf);
+        assert_eq!(buf, silence(8));
     }
 
     #[test]

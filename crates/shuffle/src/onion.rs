@@ -87,12 +87,12 @@ impl LayerKeyPair {
             header.try_into().expect("8-byte header"),
         ));
         let (enc_key, tag_key) = derive_layer_keys(&self.keys, &ephemeral);
-        let expected = truncated_tag(&tag_key, header, ciphertext);
+        let expected = truncated_tag(&tag_key, &bytes[..bytes.len() - TAG_LEN]);
         if !constant_time_eq(&expected, tag) {
             return Err(LayerError::BadTag);
         }
-        let mut plaintext = ciphertext.to_vec();
-        ChaCha20::for_round(&enc_key, 0).apply_keystream(&mut plaintext);
+        let mut plaintext = vec![0u8; ciphertext.len()];
+        ChaCha20::for_round(&enc_key, 0).xor_keystream_into(&mut plaintext, ciphertext);
         Ok(OnionItem(plaintext))
     }
 }
@@ -124,12 +124,15 @@ impl OnionItem {
         let ephemeral = KeyPair::generate(rng);
         let (enc_key, tag_key) = derive_layer_keys(&ephemeral, owner);
         let header = ephemeral.public_key().0.to_le_bytes();
-        let mut ciphertext = self.0.clone();
-        ChaCha20::for_round(&enc_key, 0).apply_keystream(&mut ciphertext);
-        let tag = truncated_tag(&tag_key, &header, &ciphertext);
+        // Encrypt straight into the layered item: one fused keystream pass
+        // writes `inner XOR keystream` after the header, with no
+        // intermediate ciphertext buffer, and the tag is computed over the
+        // contiguous header‖ciphertext prefix.
         let mut bytes = Vec::with_capacity(self.0.len() + LAYER_OVERHEAD);
         bytes.extend_from_slice(&header);
-        bytes.extend_from_slice(&ciphertext);
+        bytes.resize(header.len() + self.0.len(), 0);
+        ChaCha20::for_round(&enc_key, 0).xor_keystream_into(&mut bytes[header.len()..], &self.0);
+        let tag = truncated_tag(&tag_key, &bytes);
         bytes.extend_from_slice(&tag);
         OnionItem(bytes)
     }
@@ -198,12 +201,11 @@ fn derive_layer_keys(own: &KeyPair, peer: &PublicKey) -> ([u8; 32], [u8; 32]) {
     (enc_key, tag_key)
 }
 
-/// Computes the truncated HMAC tag over a layer's header and ciphertext.
-fn truncated_tag(tag_key: &[u8; 32], header: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
-    let mut data = Vec::with_capacity(header.len() + ciphertext.len());
-    data.extend_from_slice(header);
-    data.extend_from_slice(ciphertext);
-    let full = hmac_sha256(tag_key, &data);
+/// Computes the truncated HMAC tag over a layer's authenticated prefix
+/// (the contiguous `header ‖ ciphertext` bytes — both callers already hold
+/// them in one slice, so no concatenation buffer is needed).
+fn truncated_tag(tag_key: &[u8; 32], authenticated: &[u8]) -> [u8; TAG_LEN] {
+    let full = hmac_sha256(tag_key, authenticated);
     let mut tag = [0u8; TAG_LEN];
     tag.copy_from_slice(&full[..TAG_LEN]);
     tag
