@@ -13,21 +13,76 @@
 //!
 //! Besides the fig1 workload, every entry records a **large-n leg**: one
 //! flood trial over a `--large-n`-node overlay (default one million),
-//! untraced, timed end to end (overlay build, diameter estimate, trial).
-//! This is the repo's evidence that a million-node trial completes on
-//! commodity hardware; CI smoke-tests a reduced leg.
+//! untraced, with a per-phase breakdown — overlay build, diameter
+//! estimate and broadcast each report wall-clock *and* bytes allocated
+//! (via a counting global allocator). The overlay finalize and the
+//! diameter BFS split across `--threads` scoped workers inside the single
+//! trial (byte-identical results at any thread count). This is the repo's
+//! evidence that a million-node trial completes on commodity hardware; CI
+//! smoke-tests a reduced leg and diffs everything but the wall-clock and
+//! allocation figures.
 //!
 //! Usage: `bench_baseline [--json <path>] [--threads <n>] [--n <nodes>]
 //! [--runs <r>] [--large-n <nodes>]` — `--threads` sets the parallel
-//! leg's worker count (default 4); the sequential leg is always 1 thread.
-//! Default output path: `BENCH_baseline.json`.
+//! leg's worker count and the large-n leg's intra-trial worker count
+//! (default 4); the sequential leg is always 1 thread. Default output
+//! path: `BENCH_baseline.json`.
+
+// The reporting paths cast between usize/u64/f64 for JSON rows; every
+// remaining cast site must either be provably lossless or carry an
+// explicit allow with the reason.
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::cast_sign_loss)]
 
 use fnp_bench::cli::BinArgs;
 use fnp_bench::json::Json;
 use fnp_bench::{TrialArena, TrialRunner};
 use fnp_netsim::{NodeId, SimConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Bytes handed out by the global allocator since process start (frees are
+/// not subtracted: the interesting figure for a perf leg is allocation
+/// *traffic*, not peak footprint).
+static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// System allocator wrapper that counts allocated bytes, so the large-n
+/// phase breakdown can report per-phase allocation traffic alongside
+/// wall-clock.
+struct CountingAllocator;
+
+// SAFETY: every operation is forwarded verbatim to the system allocator,
+// which upholds the `GlobalAlloc` contract; the only addition is a relaxed
+// counter increment with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's own `alloc` contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by this allocator (which delegates to
+        // `System`) with the same `layout`, as the caller guarantees.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size, Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's own `realloc` contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Total bytes allocated so far; phase figures are deltas of this.
+fn allocated_bytes() -> usize {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
 
 const DEFAULT_PARALLEL_THREADS: usize = 4;
 const DEFAULT_LARGE_N: usize = 1_000_000;
@@ -121,21 +176,33 @@ fn fnv1a64(text: &str) -> u64 {
 
 /// Runs the large-n leg: one untraced flood broadcast over a fresh
 /// `large_n`-node standard overlay, returning the JSON section for the
-/// trajectory entry.
-fn large_n_leg(large_n: usize, base_seed: u64) -> Json {
-    println!("large-n leg — single flood trial over {large_n} nodes");
+/// trajectory entry. Each phase (overlay build, diameter estimate, flood
+/// broadcast) reports wall-clock and allocation traffic; the overlay's CSR
+/// finalize and the diameter BFS fan out over `intra_threads` scoped
+/// workers with byte-identical results at any thread count.
+fn large_n_leg(large_n: usize, base_seed: u64, intra_threads: usize) -> Json {
+    println!(
+        "large-n leg — single flood trial over {large_n} nodes \
+         ({intra_threads} intra-trial threads)"
+    );
     let mut arena = TrialArena::new();
 
+    let overlay_allocated = allocated_bytes();
     let overlay_started = Instant::now();
-    let graph = fnp_bench::standard_overlay_in(&mut arena, large_n, base_seed);
+    let graph =
+        fnp_bench::standard_overlay_threaded_in(&mut arena, large_n, base_seed, intra_threads);
     let overlay_ms = overlay_started.elapsed().as_secs_f64() * 1e3;
+    let overlay_alloc_bytes = allocated_bytes() - overlay_allocated;
 
+    let diameter_allocated = allocated_bytes();
     let diameter_started = Instant::now();
     let (diameter, estimator) = graph
-        .diameter_estimate()
+        .diameter_estimate_with_threads(intra_threads)
         .expect("standard overlays are connected");
     let diameter_ms = diameter_started.elapsed().as_secs_f64() * 1e3;
+    let diameter_alloc_bytes = allocated_bytes() - diameter_allocated;
 
+    let flood_allocated = allocated_bytes();
     let trial_started = Instant::now();
     let metrics = fnp_gossip::run_flood_in(
         &mut arena,
@@ -148,16 +215,21 @@ fn large_n_leg(large_n: usize, base_seed: u64) -> Json {
         },
     );
     let flood_ms = trial_started.elapsed().as_secs_f64() * 1e3;
+    let flood_alloc_bytes = allocated_bytes() - flood_allocated;
 
     assert!(
         (metrics.coverage() - 1.0).abs() < f64::EPSILON,
         "large-n flood must reach every node, covered {:.4}",
         metrics.coverage()
     );
-    println!("  overlay build : {overlay_ms:>10.1} ms");
-    println!("  diameter      : {diameter} ({estimator} estimator, {diameter_ms:.1} ms)");
+    println!("  overlay build : {overlay_ms:>10.1} ms  ({overlay_alloc_bytes:>12} B allocated)");
     println!(
-        "  flood trial   : {flood_ms:>10.1} ms  ({} messages, coverage {:.2})",
+        "  diameter      : {diameter} ({estimator} estimator, {diameter_ms:.1} ms, \
+         {diameter_alloc_bytes} B allocated)"
+    );
+    println!(
+        "  flood trial   : {flood_ms:>10.1} ms  ({flood_alloc_bytes:>12} B allocated, \
+         {} messages, coverage {:.2})",
         metrics.messages_sent,
         metrics.coverage()
     );
@@ -165,11 +237,15 @@ fn large_n_leg(large_n: usize, base_seed: u64) -> Json {
     Json::obj([
         ("n", Json::from(large_n)),
         ("seed", Json::from(base_seed)),
+        ("intra_trial_threads", Json::from(intra_threads)),
         ("overlay_build_ms", Json::from(overlay_ms)),
+        ("overlay_alloc_bytes", Json::from(overlay_alloc_bytes)),
         ("diameter", Json::from(diameter)),
         ("diameter_estimator", Json::from(estimator.to_string())),
         ("diameter_ms", Json::from(diameter_ms)),
+        ("diameter_alloc_bytes", Json::from(diameter_alloc_bytes)),
         ("flood_wall_clock_ms", Json::from(flood_ms)),
+        ("flood_alloc_bytes", Json::from(flood_alloc_bytes)),
         ("messages", Json::from(metrics.messages_sent)),
         ("coverage", Json::from(metrics.coverage())),
     ])
@@ -287,7 +363,7 @@ fn main() {
     println!("{parallel_threads} threads : {parallel_ms:>10.1} ms  (speedup {speedup:.2}x on {host_threads} host cores)");
     println!("rows: byte-identical across thread counts");
 
-    let large_n_section = large_n_leg(large_n, base_seed);
+    let large_n_section = large_n_leg(large_n, base_seed, parallel_threads);
     let dcnet_section = dcnet_leg(base_seed);
 
     let entry = Json::obj([
@@ -301,7 +377,7 @@ fn main() {
             ]),
         ),
         // The simulator storage layout this point was recorded with.
-        ("layout", Json::from("soa-arena-wheel")),
+        ("layout", Json::from("csr-bitset-wheel")),
         (
             "params",
             Json::obj([

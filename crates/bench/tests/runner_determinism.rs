@@ -97,6 +97,33 @@ fn group_overlap_and_dissent_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn threaded_overlay_and_diameter_are_identical_across_thread_counts() {
+    // The large-n bench leg has no trial-level parallelism, so it threads
+    // *within* the trial instead: the overlay's CSR finalize and the
+    // double-sweep diameter BFS split across workers. Both must stay
+    // byte-identical to their sequential variants — the leg's figures land
+    // in BENCH_baseline.json and are compared across commits. n is above
+    // the exact-diameter cutoff (2048) so the double sweep actually runs.
+    let mut arena = fnp_bench::TrialArena::new();
+    let n = 3000;
+    let sequential = fnp_bench::standard_overlay_in(&mut arena, n, 21);
+    let sequential_diameter = sequential.diameter_estimate();
+    for threads in THREAD_COUNTS {
+        let overlay = fnp_bench::standard_overlay_threaded_in(&mut arena, n, 21, threads);
+        assert_eq!(
+            format!("{overlay:?}"),
+            format!("{sequential:?}"),
+            "standard overlay diverged at {threads} threads"
+        );
+        assert_eq!(
+            overlay.diameter_estimate_with_threads(threads),
+            sequential_diameter,
+            "diameter estimate diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn json_reports_are_identical_across_thread_counts() {
     use fnp_bench::json::Json;
     let render = |runner: &TrialRunner| {

@@ -6,7 +6,31 @@
 //! graph algorithms the protocols and adversary estimators need: breadth-
 //! first search, connectivity, eccentricity/diameter, shortest-path trees
 //! and degree statistics.
+//!
+//! # CSR layout
+//!
+//! Adjacency lives in a flat compressed-sparse-row layout instead of one
+//! heap `Vec` per node: `offsets` gives each node a contiguous *span* of
+//! the shared `targets` array, and the live prefix of every span is the
+//! node's sorted neighbour list. Neighbour iteration is one pointer plus a
+//! length — no per-node heap indirection — which turns the large-n BFS
+//! sweeps from latency-bound pointer chases into bandwidth-bound scans.
+//!
+//! Graphs are built through a [`GraphBuilder`] (or the pooled equivalent
+//! the topology generators use): edges accumulate in a flat pair list and
+//! one *finalize* pass scatters them into span slots with a counting sort
+//! by source, then sorts each span. Mutation after finalize still works:
+//! `remove_edge` compacts the live prefix and marks the freed tail slot in
+//! a per-edge *tombstone* bitmap, and `add_edge` reuses a tombstoned slot
+//! when both endpoints have one (falling back to a full rebuild that
+//! leaves every span some slack). `reset` drops all spans and tombstones.
+//!
+//! Because the live prefixes stay sorted, neighbour iteration order — and
+//! therefore every downstream simulation event — is identical to the old
+//! `Vec<Vec<NodeId>>` representation; the CSR reference suite checks the
+//! two representations operation-for-operation.
 
+use crate::bits::BitSet;
 use crate::node::NodeId;
 use std::collections::VecDeque;
 use std::fmt;
@@ -23,6 +47,13 @@ pub const EXACT_DIAMETER_MAX_NODES: usize = 2048;
 /// Number of deterministic probe nodes for the sampled-eccentricity
 /// refinement of [`Graph::diameter_estimate`].
 const DIAMETER_ECCENTRICITY_SAMPLES: usize = 8;
+
+/// Smallest BFS frontier worth splitting across worker threads; below this
+/// the spawn/join overhead dominates the expansion work.
+const PARALLEL_FRONTIER_MIN: usize = 4096;
+
+/// Smallest span-sort workload worth splitting across worker threads.
+const PARALLEL_SORT_MIN_SLOTS: usize = 1 << 12;
 
 /// Which algorithm produced a [`Graph::diameter_estimate`] figure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,14 +76,34 @@ impl fmt::Display for DiameterEstimator {
     }
 }
 
+/// Converts a CSR slot count or degree to its stored `u32` form.
+///
+/// The largest experiment leg (10⁶ nodes, degree 8) uses ~8·10⁶ slots, so
+/// `u32` spans are ample; the check guards against silent truncation if a
+/// future workload outgrows them.
+fn to_u32(value: usize) -> u32 {
+    u32::try_from(value).expect("CSR slot index exceeds u32 range")
+}
+
 /// An undirected simple graph over nodes `0..n`.
 ///
-/// Self-loops and parallel edges are rejected at insertion time; adjacency
+/// Self-loops and parallel edges are rejected at insertion time; neighbour
 /// lists are kept sorted so that neighbour iteration order is deterministic,
 /// which in turn keeps whole simulations reproducible under a fixed seed.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// See the [module documentation](self) for the flat CSR representation.
+#[derive(Clone, Debug)]
 pub struct Graph {
-    adjacency: Vec<Vec<NodeId>>,
+    /// Span starts: node `i` owns slots `offsets[i]..offsets[i+1]` of
+    /// `targets`. Length `n + 1`.
+    offsets: Vec<u32>,
+    /// Live neighbour count per node: the sorted live prefix of the span.
+    live: Vec<u32>,
+    /// Flat neighbour storage, all spans back to back.
+    targets: Vec<NodeId>,
+    /// Tombstone bitmap over `targets` slots: a set bit marks a dead slot
+    /// (freed by `remove_edge`, or span slack left by a rebuild). Dead
+    /// slots always form the tail of their span.
+    tombstones: BitSet,
     edge_count: usize,
 }
 
@@ -60,28 +111,34 @@ impl Graph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
         Self {
-            adjacency: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            live: vec![0; n],
+            targets: Vec::new(),
+            tombstones: BitSet::new(0),
             edge_count: 0,
         }
     }
 
-    /// Resets the graph to `n` isolated nodes, reusing the adjacency
-    /// allocations of the previous population where possible (the cheap
-    /// path of a [`TrialArena`](crate::TrialArena) checkout).
+    /// Resets the graph to `n` isolated nodes, reusing the flat CSR
+    /// allocations of the previous population (the cheap path of a
+    /// [`TrialArena`](crate::TrialArena) checkout). All spans and their
+    /// tombstones are dropped — this is where tombstoned slots from a
+    /// churned trial are compacted away.
     ///
     /// The result is indistinguishable from `Graph::new(n)`.
     pub fn reset(&mut self, n: usize) {
-        self.adjacency.truncate(n);
-        for neighbors in &mut self.adjacency {
-            neighbors.clear();
-        }
-        self.adjacency.resize_with(n, Vec::new);
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        self.live.clear();
+        self.live.resize(n, 0);
+        self.targets.clear();
+        self.tombstones.reset(0);
         self.edge_count = 0;
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.live.len()
     }
 
     /// Number of undirected edges.
@@ -91,20 +148,32 @@ impl Graph {
 
     /// Iterator over all node identifiers.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adjacency.len()).map(NodeId::new)
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// The span bounds of `node`: (start slot, live length, span capacity).
+    fn span(&self, node: usize) -> (usize, usize, usize) {
+        let start = self.offsets[node] as usize;
+        let cap = self.offsets[node + 1] as usize - start;
+        (start, self.live[node] as usize, cap)
     }
 
     /// Returns `true` if the edge `{a, b}` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency
-            .get(a.index())
-            .is_some_and(|neighbors| neighbors.binary_search(&b).is_ok())
+        if a.index() >= self.node_count() {
+            return false;
+        }
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Adds the undirected edge `{a, b}`.
     ///
     /// Returns `true` if the edge was inserted, `false` if it already existed
     /// or is a self-loop.
+    ///
+    /// When both endpoints' spans have a tombstoned slot the edge is
+    /// inserted in place; otherwise the CSR arrays are rebuilt with slack so
+    /// that subsequent insertions amortise.
     ///
     /// # Panics
     ///
@@ -118,31 +187,63 @@ impl Graph {
         if a == b || self.has_edge(a, b) {
             return false;
         }
-        let insert_sorted = |list: &mut Vec<NodeId>, value: NodeId| {
-            let pos = list.binary_search(&value).unwrap_err();
-            list.insert(pos, value);
-        };
-        insert_sorted(&mut self.adjacency[a.index()], b);
-        insert_sorted(&mut self.adjacency[b.index()], a);
-        self.edge_count += 1;
+        let (_, live_a, cap_a) = self.span(a.index());
+        let (_, live_b, cap_b) = self.span(b.index());
+        if live_a < cap_a && live_b < cap_b {
+            self.insert_into_span(a.index(), b);
+            self.insert_into_span(b.index(), a);
+            self.edge_count += 1;
+        } else {
+            let mut pairs = self.collect_pairs();
+            pairs.push((to_u32(a.index()), to_u32(b.index())));
+            // `build_from_pairs` recounts the edges (including the new one).
+            let built = self.build_from_pairs(self.node_count(), &pairs, true, 1);
+            debug_assert!(built, "rebuild of a validated edge set cannot fail");
+        }
         true
     }
 
+    /// Inserts `value` into the sorted live prefix of `node`'s span,
+    /// consuming one tombstoned slot. The caller has checked capacity.
+    fn insert_into_span(&mut self, node: usize, value: NodeId) {
+        let (start, len, cap) = self.span(node);
+        debug_assert!(len < cap, "insert_into_span requires a free slot");
+        debug_assert!(
+            self.tombstones.get(start + len),
+            "the slot past the live prefix must be tombstoned"
+        );
+        let span = &mut self.targets[start..start + len + 1];
+        let pos = span[..len].binary_search(&value).unwrap_err();
+        span.copy_within(pos..len, pos + 1);
+        span[pos] = value;
+        self.live[node] += 1;
+        self.tombstones.clear(start + len);
+    }
+
     /// Removes the undirected edge `{a, b}` if present; returns whether an
-    /// edge was removed.
+    /// edge was removed. The freed slot of each endpoint's span is
+    /// tombstoned (and reused by a later [`Graph::add_edge`]).
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         if !self.has_edge(a, b) {
             return false;
         }
-        let remove_sorted = |list: &mut Vec<NodeId>, value: NodeId| {
-            if let Ok(pos) = list.binary_search(&value) {
-                list.remove(pos);
-            }
-        };
-        remove_sorted(&mut self.adjacency[a.index()], b);
-        remove_sorted(&mut self.adjacency[b.index()], a);
+        self.remove_from_span(a.index(), b);
+        self.remove_from_span(b.index(), a);
         self.edge_count -= 1;
         true
+    }
+
+    /// Removes `value` from the sorted live prefix of `node`'s span,
+    /// tombstoning the freed tail slot. The caller has checked presence.
+    fn remove_from_span(&mut self, node: usize, value: NodeId) {
+        let (start, len, _) = self.span(node);
+        let span = &mut self.targets[start..start + len];
+        let pos = span
+            .binary_search(&value)
+            .expect("remove_from_span requires a present edge");
+        span.copy_within(pos + 1..len, pos);
+        self.live[node] -= 1;
+        self.tombstones.set(start + len - 1);
     }
 
     /// Returns the sorted neighbour list of `node`.
@@ -151,48 +252,121 @@ impl Graph {
     ///
     /// Panics if `node` is out of range.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adjacency[node.index()]
+        let (start, len, _) = self.span(node.index());
+        &self.targets[start..start + len]
     }
 
     /// Degree of `node`.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        self.live[node.index()] as usize
     }
 
     /// Iterator over all undirected edges, each reported once with
     /// `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(a, neighbors)| {
-                let a = NodeId::new(a);
-                neighbors
-                    .iter()
-                    .copied()
-                    .filter(move |&b| a < b)
-                    .map(move |b| (a, b))
-            })
+        self.nodes().flat_map(|a| {
+            self.neighbors(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// The current edge set as flat index pairs (each edge once, `a < b`).
+    fn collect_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::with_capacity(self.edge_count + 1);
+        for (a, b) in self.edges() {
+            pairs.push((to_u32(a.index()), to_u32(b.index())));
+        }
+        pairs
+    }
+
+    /// Rebuilds the CSR arrays from an edge list via counting sort by
+    /// source, reusing the existing allocations.
+    ///
+    /// Each pair is one undirected edge; order and orientation are
+    /// irrelevant. With `slack`, every span gets ~50% spare tombstoned
+    /// capacity so later `add_edge` calls amortise; without it the layout
+    /// is exact (the finalize path of the topology generators). `threads`
+    /// parallelises the per-span sort; the sorted result is identical at
+    /// any thread count.
+    ///
+    /// Returns `false` (leaving the graph empty over `n` nodes) if the
+    /// list contains a self-loop or duplicate edge.
+    pub(crate) fn build_from_pairs(
+        &mut self,
+        n: usize,
+        pairs: &[(u32, u32)],
+        slack: bool,
+        threads: usize,
+    ) -> bool {
+        self.reset(n);
+        // Pass 1: count live degrees.
+        for &(a, b) in pairs {
+            self.live[a as usize] += 1;
+            self.live[b as usize] += 1;
+        }
+        // Span capacities (with optional slack) -> prefix-summed offsets.
+        let mut total = 0usize;
+        for i in 0..n {
+            self.offsets[i] = to_u32(total);
+            let deg = self.live[i] as usize;
+            let cap = if slack { deg + deg / 2 + 1 } else { deg };
+            total += cap;
+        }
+        self.offsets[n] = to_u32(total);
+        self.targets.clear();
+        self.targets.resize(total, NodeId::new(0));
+        // Pass 2: scatter both directions of every edge, advancing the
+        // offsets as cursors, then rewind them by the live counts.
+        for &(a, b) in pairs {
+            let (a, b) = (a as usize, b as usize);
+            self.targets[self.offsets[a] as usize] = NodeId::new(b);
+            self.offsets[a] += 1;
+            self.targets[self.offsets[b] as usize] = NodeId::new(a);
+            self.offsets[b] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i] -= self.live[i];
+        }
+        // Pass 3: sort each live span (optionally across threads).
+        sort_spans(&self.offsets, &self.live, &mut self.targets, threads);
+        // Validate simplicity: sorted spans make duplicates adjacent.
+        for i in 0..n {
+            let (start, len, _) = self.span(i);
+            let span = &self.targets[start..start + len];
+            if span.windows(2).any(|w| w[0] == w[1]) || span.binary_search(&NodeId::new(i)).is_ok()
+            {
+                self.reset(n);
+                return false;
+            }
+        }
+        // Tombstone the slack tail of every span.
+        self.tombstones.reset(total);
+        if slack {
+            for i in 0..n {
+                let (start, len, cap) = self.span(i);
+                for slot in start + len..start + cap {
+                    self.tombstones.set(slot);
+                }
+            }
+        }
+        self.edge_count = pairs.len();
+        true
     }
 
     /// Breadth-first distances (in hops) from `source`.
     ///
     /// Unreachable nodes get `None`.
     pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
-        let mut dist = vec![None; self.node_count()];
-        let mut queue = VecDeque::new();
-        dist[source.index()] = Some(0);
-        queue.push_back(source);
-        while let Some(current) = queue.pop_front() {
-            let d = dist[current.index()].expect("queued nodes have distances");
-            for &next in self.neighbors(current) {
-                if dist[next.index()].is_none() {
-                    dist[next.index()] = Some(d + 1);
-                    queue.push_back(next);
-                }
-            }
-        }
-        dist
+        let mut scratch = BfsScratch::default();
+        self.bfs_levels(source, 1, &mut scratch);
+        scratch
+            .dist
+            .iter()
+            .map(|&d| (d != UNREACHED).then_some(d as usize))
+            .collect()
     }
 
     /// Breadth-first shortest-path tree rooted at `source`: for every node,
@@ -200,14 +374,13 @@ impl Graph {
     /// get `None`).
     pub fn bfs_tree(&self, source: NodeId) -> Vec<Option<NodeId>> {
         let mut parent = vec![None; self.node_count()];
-        let mut visited = vec![false; self.node_count()];
+        let mut visited = BitSet::new(self.node_count());
         let mut queue = VecDeque::new();
-        visited[source.index()] = true;
+        visited.set(source.index());
         queue.push_back(source);
         while let Some(current) = queue.pop_front() {
             for &next in self.neighbors(current) {
-                if !visited[next.index()] {
-                    visited[next.index()] = true;
+                if !visited.set(next.index()) {
                     parent[next.index()] = Some(current);
                     queue.push_back(next);
                 }
@@ -223,34 +396,38 @@ impl Graph {
         if self.node_count() <= 1 {
             return true;
         }
-        self.bfs_distances(NodeId::new(0))
-            .iter()
-            .all(|d| d.is_some())
+        let mut scratch = BfsScratch::default();
+        let (reached, _) = self.bfs_levels(NodeId::new(0), 1, &mut scratch);
+        reached == self.node_count()
     }
 
     /// Eccentricity of `node`: the maximum BFS distance to any reachable
     /// node. Returns `None` if some node is unreachable.
     pub fn eccentricity(&self, node: NodeId) -> Option<usize> {
-        let distances = self.bfs_distances(node);
-        let mut max = 0usize;
-        for d in distances {
-            max = max.max(d?);
-        }
-        Some(max)
+        let mut scratch = BfsScratch::default();
+        self.eccentricity_with(node, &mut scratch)
+    }
+
+    fn eccentricity_with(&self, node: NodeId, scratch: &mut BfsScratch) -> Option<usize> {
+        let (reached, levels) = self.bfs_levels(node, 1, scratch);
+        (reached == self.node_count()).then_some(levels)
     }
 
     /// Graph diameter: the maximum eccentricity over all nodes, or `None` if
     /// the graph is disconnected (or empty).
     ///
     /// Runs one BFS per node — O(n·(n+m)) — which is fine for the network
-    /// sizes the paper's evaluation uses (≈ 1 000 peers).
+    /// sizes the paper's evaluation uses (≈ 1 000 peers). The BFS scratch
+    /// (distance lane, visited bitset, frontier buffers) is shared across
+    /// all n sweeps.
     pub fn diameter(&self) -> Option<usize> {
         if self.node_count() == 0 {
             return None;
         }
+        let mut scratch = BfsScratch::default();
         let mut diameter = 0usize;
         for node in self.nodes() {
-            diameter = diameter.max(self.eccentricity(node)?);
+            diameter = diameter.max(self.eccentricity_with(node, &mut scratch)?);
         }
         Some(diameter)
     }
@@ -266,6 +443,23 @@ impl Graph {
     /// lower bound on the true diameter at O(1) BFS passes instead of
     /// O(n), and `None` for disconnected (or empty) graphs either way.
     pub fn diameter_estimate(&self) -> Option<(usize, DiameterEstimator)> {
+        self.diameter_estimate_with_threads(1)
+    }
+
+    /// [`Graph::diameter_estimate`] with the double-sweep BFS frontiers
+    /// split across `threads` worker threads (level-synchronous expansion,
+    /// deterministic per-chunk merge order).
+    ///
+    /// The reported figure is byte-identical at any thread count: frontier
+    /// chunks only *read* the shared visited set during expansion, and the
+    /// merge consumes their candidate buffers in chunk order, which
+    /// reproduces the sequential discovery order exactly. `threads == 0`
+    /// and `threads == 1` both mean sequential; the exact small-n path
+    /// ignores the thread count.
+    pub fn diameter_estimate_with_threads(
+        &self,
+        threads: usize,
+    ) -> Option<(usize, DiameterEstimator)> {
         let n = self.node_count();
         if n == 0 {
             return None;
@@ -273,18 +467,19 @@ impl Graph {
         if n <= EXACT_DIAMETER_MAX_NODES {
             return self.diameter().map(|d| (d, DiameterEstimator::Exact));
         }
+        let mut scratch = BfsScratch::default();
         // Double sweep: the farthest node from an arbitrary start sits on
         // the periphery, so its eccentricity approximates the diameter
         // from below (exactly, on trees).
-        let (u, _) = self.farthest_from(NodeId::new(0))?;
-        let (w, mut best) = self.farthest_from(u)?;
+        let (u, _) = self.farthest_from(NodeId::new(0), threads, &mut scratch)?;
+        let (w, mut best) = self.farthest_from(u, threads, &mut scratch)?;
         // Sampled-eccentricity refinement: more sources can only raise the
         // lower bound. The probe set (second sweep's endpoint plus a fixed
         // stride over node indices) is deterministic, so repeated calls on
         // the same graph report the same figure.
         let stride = (n / DIAMETER_ECCENTRICITY_SAMPLES).max(1);
         for probe in std::iter::once(w).chain((0..n).step_by(stride).map(NodeId::new)) {
-            let (_, eccentricity) = self.farthest_from(probe)?;
+            let (_, eccentricity) = self.farthest_from(probe, threads, &mut scratch)?;
             best = best.max(eccentricity);
         }
         Some((best, DiameterEstimator::DoubleSweep))
@@ -292,15 +487,113 @@ impl Graph {
 
     /// The node farthest from `source` (lowest index on ties) and its BFS
     /// distance, or `None` if any node is unreachable.
-    fn farthest_from(&self, source: NodeId) -> Option<(NodeId, usize)> {
-        let mut result = (source, 0usize);
-        for (index, distance) in self.bfs_distances(source).into_iter().enumerate() {
-            let distance = distance?;
+    fn farthest_from(
+        &self,
+        source: NodeId,
+        threads: usize,
+        scratch: &mut BfsScratch,
+    ) -> Option<(NodeId, usize)> {
+        let (reached, _) = self.bfs_levels(source, threads, scratch);
+        if reached != self.node_count() {
+            return None;
+        }
+        let mut result = (source, 0u32);
+        for (index, &distance) in scratch.dist.iter().enumerate() {
             if distance > result.1 {
                 result = (NodeId::new(index), distance);
             }
         }
-        Some(result)
+        Some((result.0, result.1 as usize))
+    }
+
+    /// Level-synchronous BFS from `source` into `scratch.dist`
+    /// (`u32::MAX` = unreached). Returns `(reached nodes, max distance)`.
+    ///
+    /// With `threads > 1`, frontiers at least [`PARALLEL_FRONTIER_MIN`]
+    /// long are split into contiguous chunks expanded concurrently. The
+    /// visited bitset is frozen during expansion (threads only read it and
+    /// write thread-private candidate buffers) and the merge walks the
+    /// buffers in chunk order, so the next frontier — and the distances —
+    /// come out identical to the sequential sweep at any thread count.
+    fn bfs_levels(
+        &self,
+        source: NodeId,
+        threads: usize,
+        scratch: &mut BfsScratch,
+    ) -> (usize, usize) {
+        let n = self.node_count();
+        scratch.dist.clear();
+        scratch.dist.resize(n, UNREACHED);
+        scratch.visited.reset(n);
+        scratch.frontier.clear();
+        scratch.next.clear();
+
+        scratch.dist[source.index()] = 0;
+        scratch.visited.set(source.index());
+        scratch.frontier.push(source);
+        let mut reached = 1usize;
+        let mut level = 0u32;
+
+        while !scratch.frontier.is_empty() {
+            scratch.next.clear();
+            if threads > 1 && scratch.frontier.len() >= PARALLEL_FRONTIER_MIN {
+                self.expand_frontier_parallel(threads, scratch);
+            } else {
+                for i in 0..scratch.frontier.len() {
+                    let u = scratch.frontier[i];
+                    for &v in self.neighbors(u) {
+                        if !scratch.visited.set(v.index()) {
+                            scratch.next.push(v);
+                        }
+                    }
+                }
+            }
+            if scratch.next.is_empty() {
+                break;
+            }
+            level += 1;
+            for &v in &scratch.next {
+                scratch.dist[v.index()] = level;
+            }
+            reached += scratch.next.len();
+            std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+        }
+        (reached, level as usize)
+    }
+
+    /// One parallel frontier expansion: split `scratch.frontier` into
+    /// `threads` contiguous chunks, expand each into a thread-private
+    /// candidate buffer against the frozen visited set, then merge the
+    /// buffers in chunk order (deduplicating via the visited set) into
+    /// `scratch.next`.
+    fn expand_frontier_parallel(&self, threads: usize, scratch: &mut BfsScratch) {
+        let frontier = &scratch.frontier;
+        let visited = &scratch.visited;
+        let chunk_len = frontier.len().div_ceil(threads);
+        scratch.candidates.resize_with(threads, Vec::new);
+        let mut buffers = std::mem::take(&mut scratch.candidates);
+        std::thread::scope(|scope| {
+            for (chunk, buffer) in frontier.chunks(chunk_len).zip(buffers.iter_mut()) {
+                scope.spawn(move || {
+                    buffer.clear();
+                    for &u in chunk {
+                        for &v in self.neighbors(u) {
+                            if !visited.get(v.index()) {
+                                buffer.push(v);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for buffer in &buffers {
+            for &v in buffer {
+                if !scratch.visited.set(v.index()) {
+                    scratch.next.push(v);
+                }
+            }
+        }
+        scratch.candidates = buffers;
     }
 
     /// Average degree over all nodes (0.0 for the empty graph).
@@ -333,6 +626,163 @@ impl Graph {
             .enumerate()
             .filter_map(|(i, d)| d.map(|_| NodeId::new(i)))
             .collect()
+    }
+}
+
+/// Distance marker for unreached nodes in the BFS scratch lane.
+const UNREACHED: u32 = u32::MAX;
+
+/// Reusable breadth-first-search working storage: the distance lane, the
+/// visited bitset, the current/next frontier buffers and the per-thread
+/// candidate buffers of the parallel expansion.
+#[derive(Debug, Default)]
+struct BfsScratch {
+    dist: Vec<u32>,
+    visited: BitSet,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    candidates: Vec<Vec<NodeId>>,
+}
+
+/// Sorts the live prefix of every span, splitting the node range across
+/// `threads` scoped worker threads when the workload is large enough. The
+/// result is the unique sorted order per span, so thread count cannot
+/// change it.
+fn sort_spans(offsets: &[u32], live: &[u32], targets: &mut [NodeId], threads: usize) {
+    let n = live.len();
+    let sequential = |targets: &mut [NodeId]| {
+        for i in 0..n {
+            let start = offsets[i] as usize;
+            let len = live[i] as usize;
+            targets[start..start + len].sort_unstable();
+        }
+    };
+    if threads <= 1 || targets.len() < PARALLEL_SORT_MIN_SLOTS {
+        sequential(targets);
+        return;
+    }
+    // Cut the node range so each worker gets a similar number of slots,
+    // then hand each worker the disjoint sub-slice holding its spans.
+    let total = targets.len();
+    let mut cuts = Vec::with_capacity(threads + 1);
+    cuts.push(0usize);
+    for t in 1..threads {
+        let goal = to_u32(total * t / threads);
+        let cut = offsets[..=n].partition_point(|&o| o < goal).min(n);
+        cuts.push(cut.max(*cuts.last().expect("cuts is non-empty")));
+    }
+    cuts.push(n);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [NodeId] = targets;
+        let mut consumed = 0usize;
+        for window in cuts.windows(2) {
+            let (lo, hi) = (window[0], window[1]);
+            let end_slot = offsets[hi] as usize;
+            let (chunk, tail) = rest.split_at_mut(end_slot - consumed);
+            rest = tail;
+            let base = consumed;
+            consumed = end_slot;
+            scope.spawn(move || {
+                for i in lo..hi {
+                    let start = offsets[i] as usize - base;
+                    let len = live[i] as usize;
+                    chunk[start..start + len].sort_unstable();
+                }
+            });
+        }
+    });
+}
+
+impl PartialEq for Graph {
+    /// Semantic equality: same node count and the same live neighbour
+    /// lists, regardless of span slack or tombstone layout.
+    fn eq(&self, other: &Self) -> bool {
+        self.node_count() == other.node_count()
+            && self.edge_count == other.edge_count
+            && self
+                .nodes()
+                .all(|v| self.neighbors(v) == other.neighbors(v))
+    }
+}
+
+impl Eq for Graph {}
+
+/// Accumulates an edge list and finalizes it into a [`Graph`] in one
+/// counting-sort pass — the canonical way to construct a topology.
+///
+/// Unlike [`Graph::add_edge`] (which keeps the CSR invariants on every
+/// call), the builder defers all layout work to [`GraphBuilder::finalize`],
+/// so building an m-edge graph costs O(n + m) regardless of insertion
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use fnp_netsim::{GraphBuilder, NodeId};
+///
+/// let mut builder = GraphBuilder::new(3);
+/// builder.add_edge(NodeId::new(2), NodeId::new(0));
+/// builder.add_edge(NodeId::new(0), NodeId::new(1));
+/// let g = builder.finalize();
+/// assert_eq!(g.neighbors(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph over nodes `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Records the undirected edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `a == b`. Duplicate edges
+    /// are *not* detected here — they fail [`GraphBuilder::finalize`].
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "edge endpoints {a:?}, {b:?} out of range for graph of {} nodes",
+            self.n
+        );
+        assert!(a != b, "self-loop {a:?} rejected");
+        self.pairs.push((to_u32(a.index()), to_u32(b.index())));
+    }
+
+    /// Number of edges recorded so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Builds the graph: counting sort by source, per-span neighbour sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded edges contain a duplicate.
+    #[must_use]
+    pub fn finalize(self) -> Graph {
+        let mut graph = Graph::new(self.n);
+        self.finalize_into(&mut graph);
+        graph
+    }
+
+    /// Like [`GraphBuilder::finalize`], but reuses `graph`'s allocations
+    /// (an arena-pooled checkout).
+    pub fn finalize_into(self, graph: &mut Graph) {
+        assert!(
+            graph.build_from_pairs(self.n, &self.pairs, false, 1),
+            "edge list contains a duplicate edge"
+        );
     }
 }
 
@@ -405,6 +855,67 @@ mod tests {
             g.neighbors(NodeId::new(2)),
             &[NodeId::new(0), NodeId::new(3), NodeId::new(4)]
         );
+    }
+
+    #[test]
+    fn removed_edges_leave_tombstones_that_adds_reuse() {
+        // A remove must not disturb neighbour order, and the freed slots
+        // must be consumed in place by a follow-up add (no rebuild).
+        let mut g = Graph::new(5);
+        for b in 1..5 {
+            g.add_edge(NodeId::new(0), NodeId::new(b));
+        }
+        assert!(g.remove_edge(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(
+            g.neighbors(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(3), NodeId::new(4)]
+        );
+        let slots_before = g.targets.len();
+        assert!(g.add_edge(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(g.targets.len(), slots_before, "tombstoned slots reused");
+        assert_eq!(
+            g.neighbors(NodeId::new(0)),
+            &[
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3),
+                NodeId::new(4)
+            ]
+        );
+        assert_eq!(g.tombstones.count_ones(), g.dead_slot_count());
+    }
+
+    impl Graph {
+        /// Test helper: dead slots implied by the span accounting.
+        fn dead_slot_count(&self) -> usize {
+            (0..self.node_count())
+                .map(|i| {
+                    let (_, len, cap) = self.span(i);
+                    cap - len
+                })
+                .sum()
+        }
+    }
+
+    #[test]
+    fn tombstone_bitmap_tracks_span_accounting() {
+        let mut g = path_graph(10);
+        g.remove_edge(NodeId::new(3), NodeId::new(4));
+        g.remove_edge(NodeId::new(7), NodeId::new(8));
+        assert_eq!(g.tombstones.count_ones(), g.dead_slot_count());
+        g.reset(10);
+        assert_eq!(g.tombstones.count_ones(), 0, "reset compacts tombstones");
+    }
+
+    #[test]
+    fn equality_is_semantic_not_layout() {
+        // The same edge set reached via different mutation histories (and
+        // therefore different slack/tombstone layouts) compares equal.
+        let mut via_churn = path_graph(4);
+        via_churn.add_edge(NodeId::new(0), NodeId::new(2));
+        via_churn.remove_edge(NodeId::new(0), NodeId::new(2));
+        assert_eq!(via_churn, path_graph(4));
+        assert_ne!(path_graph(4), path_graph(5));
     }
 
     #[test]
@@ -494,6 +1005,17 @@ mod tests {
     }
 
     #[test]
+    fn diameter_estimate_is_thread_count_invariant() {
+        let n = EXACT_DIAMETER_MAX_NODES + 1000;
+        let mut cycle = path_graph(n);
+        cycle.add_edge(NodeId::new(n - 1), NodeId::new(0));
+        let sequential = cycle.diameter_estimate();
+        for threads in [2, 4] {
+            assert_eq!(cycle.diameter_estimate_with_threads(threads), sequential);
+        }
+    }
+
+    #[test]
     fn diameter_estimator_display_names() {
         assert_eq!(DiameterEstimator::Exact.to_string(), "exact");
         assert_eq!(DiameterEstimator::DoubleSweep.to_string(), "double-sweep");
@@ -537,5 +1059,56 @@ mod tests {
                 (NodeId::new(1), NodeId::new(2))
             ]
         );
+    }
+
+    #[test]
+    fn builder_finalize_matches_incremental_adds() {
+        let mut builder = GraphBuilder::new(6);
+        let mut incremental = Graph::new(6);
+        for (a, b) in [(4, 1), (0, 5), (1, 0), (2, 4), (3, 2), (5, 4)] {
+            builder.add_edge(NodeId::new(a), NodeId::new(b));
+            incremental.add_edge(NodeId::new(a), NodeId::new(b));
+        }
+        assert_eq!(builder.edge_count(), 6);
+        let built = builder.finalize();
+        assert_eq!(built, incremental);
+        assert_eq!(built.edge_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn builder_rejects_duplicates_at_finalize() {
+        let mut builder = GraphBuilder::new(3);
+        builder.add_edge(NodeId::new(0), NodeId::new(1));
+        builder.add_edge(NodeId::new(1), NodeId::new(0));
+        let _ = builder.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn builder_rejects_self_loops_immediately() {
+        let mut builder = GraphBuilder::new(3);
+        builder.add_edge(NodeId::new(1), NodeId::new(1));
+    }
+
+    #[test]
+    fn parallel_span_sort_matches_sequential() {
+        // Star-ish graph with very uneven span lengths exercises the
+        // slot-balanced node cuts.
+        let n = 3000;
+        let mut pairs = Vec::new();
+        for i in 1..n {
+            pairs.push((0u32, to_u32(i)));
+        }
+        for i in (1..n - 1).rev() {
+            pairs.push((to_u32(i), to_u32(i + 1)));
+        }
+        let mut sequential = Graph::new(n);
+        assert!(sequential.build_from_pairs(n, &pairs, false, 1));
+        for threads in [2, 3, 8] {
+            let mut parallel = Graph::new(n);
+            assert!(parallel.build_from_pairs(n, &pairs, false, threads));
+            assert_eq!(parallel, sequential);
+        }
     }
 }

@@ -10,9 +10,10 @@
 //! message handler — drags a whole node struct through the cache.
 //!
 //! [`HotState`] splits the hot fields out into dense parallel lanes owned
-//! by the [`Simulator`](crate::Simulator): one `Vec<bool>` of seen flags,
-//! one `Vec<u8>` of phase tags and one `Vec<u32>` of per-node counters,
-//! indexed by [`NodeId::index`]. Protocols read and write *their own*
+//! by the [`Simulator`](crate::Simulator): one u64-word [`BitSet`] of seen
+//! flags (64 nodes per cache word — the whole lane of a 10⁶-node overlay
+//! fits in L2), one `Vec<u8>` of phase tags and one `Vec<u32>` of per-node
+//! counters, indexed by [`NodeId::index`]. Protocols read and write *their own*
 //! node's slots through the [`Context`](crate::Context) accessors
 //! ([`Context::seen`](crate::Context::seen) and friends), preserving the
 //! distributed-system abstraction: no state machine can peek at another
@@ -23,6 +24,7 @@
 //! a single event, which the cross-crate determinism suites assert
 //! byte-for-byte.
 
+use crate::bits::BitSet;
 use crate::node::NodeId;
 
 /// Dense struct-of-arrays lanes for the hot per-node protocol fields.
@@ -34,8 +36,8 @@ use crate::node::NodeId;
 /// deduplication.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HotState {
-    /// Seen/delivered flag per node.
-    seen: Vec<bool>,
+    /// Seen/delivered flag per node, bit-packed.
+    seen: BitSet,
     /// Protocol phase tag per node.
     phase: Vec<u8>,
     /// General-purpose per-node counter (spread-wave round, hop budget, …).
@@ -67,7 +69,7 @@ impl HotState {
     /// existing allocations (this is what makes an arena reset cheap; see
     /// [`TrialArena`](crate::TrialArena)).
     pub fn reset(&mut self, n: usize) {
-        reset_lane(&mut self.seen, n, false);
+        self.seen.reset(n);
         reset_lane(&mut self.phase, n, 0);
         reset_lane(&mut self.counter, n, 0);
     }
@@ -75,12 +77,12 @@ impl HotState {
     /// The seen flag of `node`.
     #[must_use]
     pub fn seen(&self, node: NodeId) -> bool {
-        self.seen[node.index()]
+        self.seen.get(node.index())
     }
 
     /// Sets the seen flag of `node`, returning the previous value.
     pub fn set_seen(&mut self, node: NodeId) -> bool {
-        std::mem::replace(&mut self.seen[node.index()], true)
+        self.seen.set(node.index())
     }
 
     /// The phase tag of `node`.
@@ -105,10 +107,11 @@ impl HotState {
         self.counter[node.index()] = value;
     }
 
-    /// Number of nodes whose seen flag is set.
+    /// Number of nodes whose seen flag is set (hardware popcount over the
+    /// bit-packed lane).
     #[must_use]
     pub fn seen_count(&self) -> usize {
-        self.seen.iter().filter(|&&seen| seen).count()
+        self.seen.count_ones()
     }
 }
 

@@ -82,6 +82,7 @@
 #![warn(clippy::cast_sign_loss)]
 
 pub mod arena;
+pub mod bits;
 pub mod churn;
 pub mod graph;
 pub mod hot;
@@ -97,8 +98,9 @@ pub mod topology;
 mod wheel;
 
 pub use arena::TrialArena;
+pub use bits::BitSet;
 pub use churn::{ChurnSchedule, NodeOutage};
-pub use graph::{DiameterEstimator, Graph, EXACT_DIAMETER_MAX_NODES};
+pub use graph::{DiameterEstimator, Graph, GraphBuilder, EXACT_DIAMETER_MAX_NODES};
 pub use hot::HotState;
 pub use latency::{InvalidLatencyModel, LatencyModel, EXPONENTIAL_JITTER_CAP};
 pub use message::{Payload, TestPayload};

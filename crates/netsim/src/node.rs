@@ -11,7 +11,9 @@ use std::fmt;
 ///
 /// Node identifiers are dense indices in `0..n` where `n` is the network
 /// size; they are assigned by the topology generator and never reused within
-/// one simulation.
+/// one simulation. Internally an id is a `u32` (4 bytes), so the flat
+/// CSR adjacency of a million-node overlay moves half the memory a
+/// `usize`-based id would; the API stays in `usize` terms.
 ///
 /// # Examples
 ///
@@ -23,17 +25,24 @@ use std::fmt;
 /// assert_eq!(format!("{a}"), "n3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(usize);
+pub struct NodeId(u32);
 
 impl NodeId {
     /// Creates a node identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`; network sizes are bounded well
+    /// below that (the largest experiment leg is 10⁶ nodes).
+    #[allow(clippy::cast_possible_truncation)] // guarded by the assert
     pub const fn new(index: usize) -> Self {
-        Self(index)
+        assert!(index <= u32::MAX as usize, "node index exceeds u32 range");
+        Self(index as u32)
     }
 
     /// Returns the dense index of this node.
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -51,13 +60,13 @@ impl fmt::Display for NodeId {
 
 impl From<usize> for NodeId {
     fn from(index: usize) -> Self {
-        Self(index)
+        Self::new(index)
     }
 }
 
 impl From<NodeId> for usize {
     fn from(id: NodeId) -> Self {
-        id.0
+        id.index()
     }
 }
 

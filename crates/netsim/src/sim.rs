@@ -581,9 +581,13 @@ impl<N: ProtocolNode> Simulator<N> {
                     // whole point is not to allocate a target list), which
                     // keeps `self.graph` borrowed — so `&mut self` helpers
                     // like next_seq()/push_event() are unavailable here and
-                    // the seq bump and queue push are written out on the
-                    // disjoint fields directly. They must stay equivalent
-                    // to the helpers used by the Send arm above.
+                    // the seq bump and queue pushes go through disjoint
+                    // field borrows directly. They must stay equivalent to
+                    // the helpers used by the Send arm above. The whole
+                    // fan-out goes through one bulk-push session, which
+                    // hoists the wheel's bucket-routing threshold out of
+                    // the per-neighbor path.
+                    let mut batch = self.queue.bulk();
                     for &to in self.graph.neighbors(node) {
                         if excluded.contains(&to) {
                             continue;
@@ -594,7 +598,7 @@ impl<N: ProtocolNode> Simulator<N> {
                         if at <= self.config.max_time {
                             let seq = self.seq;
                             self.seq += 1;
-                            self.queue.push(Event {
+                            batch.push(Event {
                                 at,
                                 seq,
                                 kind: EventKind::Deliver {

@@ -13,11 +13,13 @@
 //! random model could produce disconnected graphs) because the dissemination
 //! protocols need every node to be reachable.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphBuilder};
 use crate::node::NodeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// The topology families supported by the simulator.
 ///
@@ -168,46 +170,53 @@ fn require_nodes(n: usize) -> Result<(), GenerateTopologyError> {
     }
 }
 
+/// The line edges 0 – 1 – … – (n-1) as a builder, shared by [`line`] and
+/// [`ring`].
+fn line_builder(n: usize) -> GraphBuilder {
+    let mut builder = GraphBuilder::new(n);
+    for i in 1..n {
+        builder.add_edge(NodeId::new(i - 1), NodeId::new(i));
+    }
+    builder
+}
+
 /// Simple path 0 – 1 – 2 – … – (n-1).
 pub fn line(n: usize) -> Result<Graph, GenerateTopologyError> {
     require_nodes(n)?;
-    let mut g = Graph::new(n);
-    for i in 1..n {
-        g.add_edge(NodeId::new(i - 1), NodeId::new(i));
-    }
-    Ok(g)
+    Ok(line_builder(n).finalize())
 }
 
 /// Cycle over all `n` nodes (requires `n >= 3` to be a simple cycle; `n` of
 /// 1 or 2 degenerate to a point / single edge).
 pub fn ring(n: usize) -> Result<Graph, GenerateTopologyError> {
-    let mut g = line(n)?;
+    require_nodes(n)?;
+    let mut builder = line_builder(n);
     if n >= 3 {
-        g.add_edge(NodeId::new(n - 1), NodeId::new(0));
+        builder.add_edge(NodeId::new(n - 1), NodeId::new(0));
     }
-    Ok(g)
+    Ok(builder.finalize())
 }
 
 /// Complete graph on `n` nodes.
 pub fn complete(n: usize) -> Result<Graph, GenerateTopologyError> {
     require_nodes(n)?;
-    let mut g = Graph::new(n);
+    let mut builder = GraphBuilder::new(n);
     for i in 0..n {
         for j in (i + 1)..n {
-            g.add_edge(NodeId::new(i), NodeId::new(j));
+            builder.add_edge(NodeId::new(i), NodeId::new(j));
         }
     }
-    Ok(g)
+    Ok(builder.finalize())
 }
 
 /// Star with node 0 as hub.
 pub fn star(n: usize) -> Result<Graph, GenerateTopologyError> {
     require_nodes(n)?;
-    let mut g = Graph::new(n);
+    let mut builder = GraphBuilder::new(n);
     for i in 1..n {
-        g.add_edge(NodeId::new(0), NodeId::new(i));
+        builder.add_edge(NodeId::new(0), NodeId::new(i));
     }
-    Ok(g)
+    Ok(builder.finalize())
 }
 
 /// Complete `arity`-ary tree: node `i`'s children are `arity*i + 1 ..= arity*i + arity`.
@@ -216,16 +225,16 @@ pub fn tree(n: usize, arity: usize) -> Result<Graph, GenerateTopologyError> {
     if arity == 0 {
         return Err(invalid("tree arity must be at least 1"));
     }
-    let mut g = Graph::new(n);
+    let mut builder = GraphBuilder::new(n);
     for i in 0..n {
         for c in 1..=arity {
             let child = arity * i + c;
             if child < n {
-                g.add_edge(NodeId::new(i), NodeId::new(child));
+                builder.add_edge(NodeId::new(i), NodeId::new(child));
             }
         }
     }
-    Ok(g)
+    Ok(builder.finalize())
 }
 
 /// Erdős–Rényi G(n, p), retried until connected (up to 50 attempts).
@@ -240,14 +249,15 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
     }
     const ATTEMPTS: usize = 50;
     for _ in 0..ATTEMPTS {
-        let mut g = Graph::new(n);
+        let mut builder = GraphBuilder::new(n);
         for i in 0..n {
             for j in (i + 1)..n {
                 if rng.gen_bool(p) {
-                    g.add_edge(NodeId::new(i), NodeId::new(j));
+                    builder.add_edge(NodeId::new(i), NodeId::new(j));
                 }
             }
         }
+        let g = builder.finalize();
         if g.is_connected() {
             return Ok(g);
         }
@@ -267,22 +277,83 @@ pub fn random_regular<R: Rng + ?Sized>(
     Ok(graph)
 }
 
+/// Hasher for packed stub-pair keys: one splitmix64 finalizer round over
+/// the `u64` key.
+///
+/// The repair delta map is only ever probed (`get`/`entry`) and cleared —
+/// never iterated — so the hash function cannot influence any observable
+/// output; it only sets the probe cost, and a single multiply-xor-shift
+/// round beats SipHash by an order of magnitude on the repair loop's hot
+/// lookups.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PairKeyHasher {
+    state: u64,
+}
+
+impl Hasher for PairKeyHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by `u64` keys, which take `write_u64`).
+        for &byte in bytes {
+            self.state = (self.state ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        // splitmix64 finalizer: full avalanche in three rounds.
+        let mut z = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.state = z ^ (z >> 31);
+    }
+}
+
+/// Repair-delta map keyed by packed `(low, high)` stub pairs: how much the
+/// live multiplicity of a key differs from the counting-sort snapshot taken
+/// right after stub pairing. Signed, because swaps decrement keys the
+/// snapshot counted. Only keys touched by a swap ever enter the map, so it
+/// stays tiny even at n = 10⁶ (the snapshot itself is a sorted array, not a
+/// hash map).
+type PairDeltas = HashMap<u64, i32, BuildHasherDefault<PairKeyHasher>>;
+
+/// How oversized a pooled scratch buffer may be, relative to the current
+/// overlay's needs, before [`RegularScratch::clamp`] releases it. The
+/// factor-of-4 headroom keeps steady-state sweeps reallocation-free while
+/// bounding the residue a one-off million-node leg leaves in every worker.
+const SCRATCH_CLAMP_FACTOR: usize = 4;
+
 /// Reusable scratch buffers of the configuration-model generator.
 ///
 /// One [`random_regular_into_with`] call for an `n`-node degree-`d` overlay
-/// fills an `n·d`-element stub list, an `n·d/2`-element edge list and an
-/// edge-multiplicity map — roughly 50 MB of transient allocations per trial
-/// at n = 10⁶. Pooling the scratch in a
+/// fills an `n·d`-element stub list, an `n·d/2`-element edge list and a
+/// counting-sort multiplicity snapshot of the same order — tens of
+/// megabytes of transient allocations per trial at n = 10⁶. Pooling the
+/// scratch in a
 /// [`TrialArena`](crate::TrialArena) (see
 /// [`TrialArena::regular_scratch`](crate::TrialArena::regular_scratch))
 /// turns that into a one-time cost per worker. The buffers carry no state
 /// between calls: every use clears them first, so a dirty scratch is
-/// indistinguishable from a fresh one.
+/// indistinguishable from a fresh one. Each use also *clamps* capacity
+/// afterwards (see [`RegularScratch::clamp`]), so one large-n trial does
+/// not pin its peak footprint in the pool forever.
 #[derive(Debug, Default)]
 pub struct RegularScratch {
-    stubs: Vec<usize>,
-    edges: Vec<(usize, usize)>,
-    multiplicity: std::collections::HashMap<(usize, usize), usize>,
+    stubs: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+    /// Per-low-endpoint bucket boundaries of the multiplicity snapshot
+    /// (`n + 1` prefix sums over edge keys, counting-sort style).
+    key_offsets: Vec<u32>,
+    /// Snapshot payload: one `(high, edge index)` entry per edge, bucketed
+    /// by low endpoint and sorted within each bucket, so a key's snapshot
+    /// multiplicity is a run length found by binary search.
+    key_slots: Vec<(u32, u32)>,
+    /// Indices of the initially-bad edges (self-loops, parallel runs), in
+    /// ascending order — the repair loop's work list.
+    bad: Vec<u32>,
+    deltas: PairDeltas,
 }
 
 impl RegularScratch {
@@ -290,6 +361,44 @@ impl RegularScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Releases excess capacity left by a larger previous overlay: any
+    /// buffer holding more than `SCRATCH_CLAMP_FACTOR` (4×) times what a
+    /// `stub_count`-stub generation needs is shrunk back to that need.
+    ///
+    /// Called by the generator after every run (the grow-then-shrink
+    /// regression suite pins the behaviour); also callable directly when a
+    /// harness wants to trim pooled workers between phases.
+    pub fn clamp(&mut self, stub_count: usize) {
+        if self.stubs.capacity() > SCRATCH_CLAMP_FACTOR * stub_count.max(1) {
+            self.stubs.shrink_to(stub_count);
+        }
+        // `key_offsets` needs one slot per node plus one; node count is at
+        // most the stub count, so the stub budget bounds it too.
+        if self.key_offsets.capacity() > SCRATCH_CLAMP_FACTOR * (stub_count + 1) {
+            self.key_offsets.shrink_to(stub_count + 1);
+        }
+        let edge_count = stub_count / 2;
+        if self.edges.capacity() > SCRATCH_CLAMP_FACTOR * edge_count.max(1) {
+            self.edges.shrink_to(edge_count);
+        }
+        if self.key_slots.capacity() > SCRATCH_CLAMP_FACTOR * edge_count.max(1) {
+            self.key_slots.shrink_to(edge_count);
+        }
+        if self.bad.capacity() > SCRATCH_CLAMP_FACTOR * edge_count.max(1) {
+            self.bad.shrink_to(edge_count);
+        }
+        if self.deltas.capacity() > SCRATCH_CLAMP_FACTOR * edge_count.max(1) {
+            self.deltas.shrink_to(edge_count);
+        }
+    }
+
+    /// Current capacity of the stub buffer (exposed for capacity-regression
+    /// tests).
+    #[must_use]
+    pub fn stub_capacity(&self) -> usize {
+        self.stubs.capacity()
     }
 }
 
@@ -319,6 +428,24 @@ pub fn random_regular_into_with<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut RegularScratch,
 ) -> Result<(), GenerateTopologyError> {
+    random_regular_into_with_threads(graph, n, degree, rng, scratch, 1)
+}
+
+/// Like [`random_regular_into_with`], with the CSR finalize (per-span
+/// neighbour sort) split across `threads` scoped worker threads.
+///
+/// The RNG consumption and the generated overlay are byte-identical at any
+/// thread count — threads only parallelise the sort of independent spans,
+/// whose result is unique. Intended for single-trial large-n legs where no
+/// trial-level parallelism is available; `0` and `1` both mean sequential.
+pub fn random_regular_into_with_threads<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    n: usize,
+    degree: usize,
+    rng: &mut R,
+    scratch: &mut RegularScratch,
+    threads: usize,
+) -> Result<(), GenerateTopologyError> {
     graph.reset(0);
     require_nodes(n)?;
     if degree == 0 && n > 1 {
@@ -337,6 +464,25 @@ pub fn random_regular_into_with<R: Rng + ?Sized>(
         return Ok(());
     }
 
+    let result = random_regular_attempts(graph, n, degree, rng, scratch, threads);
+    // Capacity clamp: a pooled scratch must not pin the footprint of the
+    // largest overlay it ever generated (the n = 10⁶ leg would otherwise
+    // leave ~100 MB parked in every worker arena for the rest of the
+    // process).
+    scratch.clamp(n * degree);
+    result
+}
+
+/// The retry loop of the configuration-model generator; see
+/// [`random_regular_into_with_threads`] for the contract.
+fn random_regular_attempts<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    n: usize,
+    degree: usize,
+    rng: &mut R,
+    scratch: &mut RegularScratch,
+    threads: usize,
+) -> Result<(), GenerateTopologyError> {
     const ATTEMPTS: usize = 50;
     for _ in 0..ATTEMPTS {
         // Configuration model: each node contributes `degree` stubs; a random
@@ -348,81 +494,151 @@ pub fn random_regular_into_with<R: Rng + ?Sized>(
         let RegularScratch {
             stubs,
             edges,
-            multiplicity,
+            key_offsets,
+            key_slots,
+            bad,
+            deltas,
         } = scratch;
         stubs.clear();
-        stubs.extend((0..n).flat_map(|i| std::iter::repeat_n(i, degree)));
+        stubs.extend((0..n).flat_map(|i| std::iter::repeat_n(to_u32(i), degree)));
         stubs.shuffle(rng);
         edges.clear();
         edges.extend(stubs.chunks_exact(2).map(|pair| (pair[0], pair[1])));
 
-        multiplicity.clear();
-        let key = |a: usize, b: usize| if a <= b { (a, b) } else { (b, a) };
+        // Multiplicity snapshot via counting sort, replacing the full hash
+        // map (one insert per edge) that used to dominate the build at
+        // n = 10⁶. Edge keys are bucketed by low endpoint; each bucket is
+        // sorted by `(high, edge index)`, so a key's snapshot multiplicity
+        // is a run length found by binary search, and the initially-bad
+        // edges (self-loops, parallel runs) fall out of one linear walk.
+        let split = |a: u32, b: u32| if a <= b { (a, b) } else { (b, a) };
+        key_offsets.clear();
+        key_offsets.resize(n + 1, 0);
         for &(a, b) in edges.iter() {
-            *multiplicity.entry(key(a, b)).or_insert(0usize) += 1;
+            key_offsets[split(a, b).0 as usize + 1] += 1;
         }
-        let is_bad =
-            |a: usize,
-             b: usize,
-             multiplicity: &std::collections::HashMap<(usize, usize), usize>| {
-                a == b || multiplicity.get(&key(a, b)).copied().unwrap_or(0) > 1
-            };
+        for i in 0..n {
+            key_offsets[i + 1] += key_offsets[i];
+        }
+        // The stub list is dead once the edge list exists; its first `n`
+        // slots serve as the scatter cursors.
+        let cursors = &mut stubs[..n];
+        cursors.copy_from_slice(&key_offsets[..n]);
+        key_slots.clear();
+        key_slots.resize(edges.len(), (0, 0));
+        for (index, &(a, b)) in edges.iter().enumerate() {
+            let (low, high) = split(a, b);
+            let slot = cursors[low as usize];
+            cursors[low as usize] += 1;
+            key_slots[slot as usize] = (high, to_u32(index));
+        }
+        bad.clear();
+        for low in 0..n {
+            let span = &mut key_slots[key_offsets[low] as usize..key_offsets[low + 1] as usize];
+            span.sort_unstable();
+            let mut i = 0;
+            while i < span.len() {
+                let high = span[i].0;
+                let mut j = i + 1;
+                while j < span.len() && span[j].0 == high {
+                    j += 1;
+                }
+                if high == to_u32(low) || j - i > 1 {
+                    bad.extend(span[i..j].iter().map(|&(_, index)| index));
+                }
+                i = j;
+            }
+        }
+        // The old repair loop walked a forward cursor over *all* edges;
+        // since a successful swap only ever installs good edges and
+        // decrements other multiplicities, a good edge never turns bad and
+        // the cursor only ever stopped at initially-bad indices. Visiting
+        // the sorted bad list therefore reproduces the cursor's stop
+        // sequence — and the RNG stream and swap choices — byte-identically,
+        // without the O(E) scan.
+        bad.sort_unstable();
 
-        // Repair loop: repeatedly swap a bad edge against a random edge.
+        let key_offsets = &key_offsets[..];
+        let key_slots = &key_slots[..];
+        let key = |a: u32, b: u32| {
+            let (low, high) = split(a, b);
+            (u64::from(low) << 32) | u64::from(high)
+        };
+        // Live multiplicity of `(a, b)` = snapshot run length + swap delta.
+        let current = |a: u32, b: u32, deltas: &PairDeltas| -> i64 {
+            let (low, high) = split(a, b);
+            let span = &key_slots
+                [key_offsets[low as usize] as usize..key_offsets[low as usize + 1] as usize];
+            let start = span.partition_point(|&(h, _)| h < high);
+            let run = span[start..].partition_point(|&(h, _)| h == high);
+            i64::from(to_u32(run)) + i64::from(deltas.get(&key(a, b)).copied().unwrap_or(0))
+        };
+
+        deltas.clear();
         let mut repaired = true;
         let mut budget = 200 * edges.len().max(1);
-        loop {
-            let bad_index = edges.iter().position(|&(a, b)| is_bad(a, b, multiplicity));
-            let Some(i) = bad_index else { break };
-            if budget == 0 {
-                repaired = false;
+        'bad_edges: for &index in bad.iter() {
+            let i = index as usize;
+            loop {
+                let (a, b) = edges[i];
+                // The edge may have healed since the snapshot without being
+                // visited: an earlier swap can overwrite this slot (as the
+                // random partner) or drop this key's multiplicity below 2.
+                if a != b && current(a, b, deltas) <= 1 {
+                    break;
+                }
+                if budget == 0 {
+                    repaired = false;
+                    break 'bad_edges;
+                }
+                budget -= 1;
+                let j = rng.gen_range(0..edges.len());
+                if i == j {
+                    continue;
+                }
+                let (c, d) = edges[j];
+                // Propose (a, b), (c, d) -> (a, d), (c, b).
+                if a == d || c == b {
+                    continue;
+                }
+                let new_1 = key(a, d);
+                let new_2 = key(c, b);
+                if current(a, d, deltas) > 0 || current(c, b, deltas) > 0 || new_1 == new_2 {
+                    continue;
+                }
+                // Apply the swap. Both installed edges are good (their keys
+                // had live multiplicity 0 and distinct endpoints), so the
+                // remaining bad-list entries stay the only repair candidates.
+                *deltas.entry(key(a, b)).or_insert(0) -= 1;
+                *deltas.entry(key(c, d)).or_insert(0) -= 1;
+                *deltas.entry(new_1).or_insert(0) += 1;
+                *deltas.entry(new_2).or_insert(0) += 1;
+                edges[i] = (a, d);
+                edges[j] = (c, b);
                 break;
             }
-            budget -= 1;
-            let j = rng.gen_range(0..edges.len());
-            if i == j {
-                continue;
-            }
-            let (a, b) = edges[i];
-            let (c, d) = edges[j];
-            // Propose (a, b), (c, d) -> (a, d), (c, b).
-            if a == d || c == b {
-                continue;
-            }
-            let new_1 = key(a, d);
-            let new_2 = key(c, b);
-            if multiplicity.get(&new_1).copied().unwrap_or(0) > 0
-                || multiplicity.get(&new_2).copied().unwrap_or(0) > 0
-                || new_1 == new_2
-            {
-                continue;
-            }
-            // Apply the swap.
-            *multiplicity.get_mut(&key(a, b)).expect("edge present") -= 1;
-            *multiplicity.get_mut(&key(c, d)).expect("edge present") -= 1;
-            *multiplicity.entry(new_1).or_insert(0) += 1;
-            *multiplicity.entry(new_2).or_insert(0) += 1;
-            edges[i] = (a, d);
-            edges[j] = (c, b);
         }
         if !repaired {
             continue;
         }
 
-        graph.reset(n);
-        let mut simple = true;
-        for &(a, b) in edges.iter() {
-            if !graph.add_edge(NodeId::new(a), NodeId::new(b)) {
-                simple = false;
-                break;
-            }
-        }
-        if simple && graph.is_connected() {
+        // The repaired edge list is simple by construction; one counting-
+        // sort pass builds the CSR adjacency directly from it (the
+        // `build_from_pairs` validation re-checks simplicity and reports a
+        // failed attempt rather than a corrupt graph if it were ever
+        // violated).
+        if graph.build_from_pairs(n, edges, false, threads) && graph.is_connected() {
             return Ok(());
         }
     }
     graph.reset(0);
     Err(GenerateTopologyError::GenerationFailed { attempts: ATTEMPTS })
+}
+
+/// Converts a node index to its `u32` stub form; network sizes are bounded
+/// far below `u32::MAX`.
+fn to_u32(value: usize) -> u32 {
+    u32::try_from(value).expect("node index exceeds u32 range")
 }
 
 /// Watts–Strogatz small-world graph, patched to stay connected.
@@ -449,14 +665,16 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
 
     const ATTEMPTS: usize = 50;
     for _ in 0..ATTEMPTS {
-        // Start from the ring lattice.
-        let mut g = Graph::new(n);
+        // Start from the ring lattice (finalized in one pass; the rewiring
+        // below mutates the CSR graph through its tombstone machinery).
+        let mut builder = GraphBuilder::new(n);
         for i in 0..n {
             for offset in 1..=(k / 2) {
                 let j = (i + offset) % n;
-                g.add_edge(NodeId::new(i), NodeId::new(j));
+                builder.add_edge(NodeId::new(i), NodeId::new(j));
             }
         }
+        let mut g = builder.finalize();
         // Rewire each lattice edge (i, i+offset) with the given probability.
         for i in 0..n {
             for offset in 1..=(k / 2) {
@@ -497,19 +715,23 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
         )));
     }
 
-    let mut g = Graph::new(n);
-    // Seed clique over the first `attachment + 1` nodes keeps the start connected.
+    // The whole construction works on the flat edge/endpoint lists — the
+    // graph itself is only materialised once, at the end. A new node's
+    // edges can never duplicate (its targets are distinct and it had no
+    // prior edges), so the deferred finalize sees a simple edge list.
+    let mut builder = GraphBuilder::new(n);
+    // Seed clique over the first `attachment + 1` nodes keeps the start
+    // connected; pushing pairs in (i, j) order matches the edge iteration
+    // order the endpoints list was historically seeded from.
     let seed = attachment + 1;
-    for i in 0..seed {
-        for j in (i + 1)..seed {
-            g.add_edge(NodeId::new(i), NodeId::new(j));
-        }
-    }
     // Degree-proportional sampling via a repeated-endpoints list.
     let mut endpoints: Vec<usize> = Vec::new();
-    for (a, b) in g.edges().collect::<Vec<_>>() {
-        endpoints.push(a.index());
-        endpoints.push(b.index());
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            builder.add_edge(NodeId::new(i), NodeId::new(j));
+            endpoints.push(i);
+            endpoints.push(j);
+        }
     }
     for new_node in seed..n {
         // BTreeSet: edge insertion order must be deterministic for a given
@@ -527,12 +749,12 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
             }
         }
         for &target in &targets {
-            if g.add_edge(NodeId::new(new_node), NodeId::new(target)) {
-                endpoints.push(new_node);
-                endpoints.push(target);
-            }
+            builder.add_edge(NodeId::new(new_node), NodeId::new(target));
+            endpoints.push(new_node);
+            endpoints.push(target);
         }
     }
+    let g = builder.finalize();
     debug_assert!(g.is_connected());
     Ok(g)
 }
@@ -542,6 +764,47 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn scratch_clamp_releases_large_trial_capacity() {
+        // Grow-then-shrink-then-grow: a pooled scratch that served a
+        // million-node leg (synthesised here by reserving its footprint
+        // directly, to keep the test fast) must shed that capacity after
+        // the next small generation instead of pinning it in the worker
+        // arena for the rest of the process.
+        let mut scratch = RegularScratch::new();
+        scratch.stubs.reserve(1_000_000);
+        scratch.edges.reserve(500_000);
+        scratch.key_offsets.reserve(1_000_001);
+        scratch.key_slots.reserve(500_000);
+        scratch.bad.reserve(500_000);
+        scratch.deltas.reserve(500_000);
+        let large_stub_capacity = scratch.stub_capacity();
+        assert!(large_stub_capacity >= 1_000_000);
+
+        let mut graph = Graph::new(0);
+        let (n, degree) = (100, 8);
+        random_regular_into_with(&mut graph, n, degree, &mut rng(3), &mut scratch).unwrap();
+        assert!(graph.is_connected());
+        let need = n * degree;
+        assert!(
+            scratch.stub_capacity() <= SCRATCH_CLAMP_FACTOR * need,
+            "stub capacity {} not clamped to {need}-stub scale",
+            scratch.stub_capacity()
+        );
+        assert!(scratch.edges.capacity() <= SCRATCH_CLAMP_FACTOR * (need / 2));
+        assert!(scratch.key_offsets.capacity() <= SCRATCH_CLAMP_FACTOR * (need + 1));
+        assert!(scratch.key_slots.capacity() <= SCRATCH_CLAMP_FACTOR * (need / 2));
+        assert!(scratch.bad.capacity() <= SCRATCH_CLAMP_FACTOR * (need / 2));
+        assert!(scratch.deltas.capacity() <= SCRATCH_CLAMP_FACTOR * (need / 2));
+
+        // Growing again after the clamp still works, and a right-sized
+        // large trial retains its capacity for reuse.
+        random_regular_into_with(&mut graph, 2_000, degree, &mut rng(4), &mut scratch).unwrap();
+        assert!(graph.is_connected());
+        assert!(scratch.stub_capacity() >= 2_000 * degree);
+        assert!(scratch.stub_capacity() <= SCRATCH_CLAMP_FACTOR * 2_000 * degree);
+    }
 
     #[test]
     fn random_regular_into_matches_random_regular() {

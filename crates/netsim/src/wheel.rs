@@ -46,6 +46,14 @@ const SLOTS: usize = 256;
 /// [`width_for`]).
 const BUCKETS_PER_MAX_DELAY: u64 = 64;
 
+/// Retained capacity is clamped on [`TimeWheel::reset`] when it exceeds
+/// this factor times the peak occupancy of the trial that just ended
+/// (mirrors `SCRATCH_CLAMP_FACTOR` in the topology generators).
+const WHEEL_CLAMP_FACTOR: usize = 4;
+
+/// Capacity below this many items is never worth shrinking.
+const WHEEL_RETAIN_FLOOR: usize = 256;
+
 /// The bucket width for a latency model whose largest delay is `max_delay`:
 /// one wheel rotation then covers four times the model bound, so every
 /// delivery scheduled from the current time lands within the rotation.
@@ -111,6 +119,9 @@ pub(crate) struct TimeWheel<T> {
     overflow: BinaryHeap<Reverse<ByKey<T>>>,
     /// Total queued events.
     len: usize,
+    /// Largest `len` observed since the last [`TimeWheel::reset`]; the
+    /// reset-time capacity clamp sizes retained allocations against it.
+    peak_len: usize,
     /// Reference implementation (the pre-wheel global heap), mirrored on
     /// every push and checked on every pop in debug builds.
     #[cfg(debug_assertions)]
@@ -138,27 +149,55 @@ impl<T: WheelItem> TimeWheel<T> {
             incoming: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             len: 0,
+            peak_len: 0,
             #[cfg(debug_assertions)]
             shadow: BinaryHeap::new(),
         }
     }
 
     /// Drops all queued events and re-arms the wheel with `width`, keeping
-    /// the bucket allocations (the arena-recycling path).
+    /// the bucket allocations (the arena-recycling path) — unless they are
+    /// more than [`WHEEL_CLAMP_FACTOR`]× oversized for the trial that just
+    /// ended, in which case they shrink to its peak occupancy. Without the
+    /// clamp a single million-node trial would pin hundreds of megabytes of
+    /// bucket and heap capacity in the arena pool for the rest of the
+    /// process, even if every later trial is a thousand times smaller.
     pub(crate) fn reset(&mut self, width: SimTime) {
+        // Peak occupancy spread over the ring approximates per-bucket need;
+        // the clamp factor absorbs the skew of non-uniform delay spreads.
+        let per_slot = (self.peak_len / SLOTS).max(WHEEL_RETAIN_FLOOR);
+        let per_heap = self.peak_len.max(WHEEL_RETAIN_FLOOR);
         for slot in &mut self.slots {
             slot.clear();
+            if slot.capacity() > per_slot * WHEEL_CLAMP_FACTOR {
+                slot.shrink_to(per_slot);
+            }
         }
         self.slots.resize_with(SLOTS, Vec::new);
         self.current.clear();
+        if self.current.capacity() > per_slot * WHEEL_CLAMP_FACTOR {
+            self.current.shrink_to(per_slot);
+        }
         self.incoming.clear();
+        if self.incoming.capacity() > per_heap * WHEEL_CLAMP_FACTOR {
+            self.incoming.shrink_to(per_heap);
+        }
         self.overflow.clear();
+        if self.overflow.capacity() > per_heap * WHEEL_CLAMP_FACTOR {
+            self.overflow.shrink_to(per_heap);
+        }
         self.width = width.max(1);
         self.window_start = 0;
         self.cursor = 0;
         self.len = 0;
+        self.peak_len = 0;
         #[cfg(debug_assertions)]
-        self.shadow.clear();
+        {
+            self.shadow.clear();
+            if self.shadow.capacity() > per_heap * WHEEL_CLAMP_FACTOR {
+                self.shadow.shrink_to(per_heap);
+            }
+        }
     }
 
     /// Drops all queued events, keeping allocations (used when a wheel is
@@ -184,15 +223,36 @@ impl<T: WheelItem> TimeWheel<T> {
     /// Schedules `item`.
     pub(crate) fn push(&mut self, item: T) {
         self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
         #[cfg(debug_assertions)]
         self.shadow.push(Reverse(item.key()));
         self.route(ByKey(item));
     }
 
+    /// Opens a bulk-push session for scheduling a burst of events (a
+    /// broadcast fan-out). Pushing never moves the cursor or the window, so
+    /// the session computes the bucket-routing threshold once instead of
+    /// per event; the exclusive borrow guarantees no pop can intervene and
+    /// invalidate it.
+    pub(crate) fn bulk(&mut self) -> BulkPush<'_, T> {
+        let cursor_end = self.cursor_end();
+        BulkPush {
+            cursor_end,
+            wheel: self,
+        }
+    }
+
     /// Files `item` into the right structure for its scheduled time.
     fn route(&mut self, item: ByKey<T>) {
+        let cursor_end = self.cursor_end();
+        self.route_within(item, cursor_end);
+    }
+
+    /// [`TimeWheel::route`] with the cursor bucket's upper edge already
+    /// computed (it is invariant across pushes, so bulk sessions hoist it).
+    fn route_within(&mut self, item: ByKey<T>, cursor_end: SimTime) {
         let at = item.0.at();
-        if at < self.cursor_end() {
+        if at < cursor_end {
             // Current bucket (or, after a window jump, before it).
             self.incoming.push(Reverse(item));
             return;
@@ -299,6 +359,43 @@ impl<T: WheelItem> TimeWheel<T> {
             );
         }
         Some(item)
+    }
+
+    /// Total retained item capacity across buckets and heaps (test hook for
+    /// the capacity-clamp regression suite).
+    #[cfg(test)]
+    fn retained_capacity(&self) -> usize {
+        self.slots.iter().map(Vec::capacity).sum::<usize>()
+            + self.current.capacity()
+            + self.incoming.capacity()
+            + self.overflow.capacity()
+    }
+}
+
+/// An open bulk-push session on a [`TimeWheel`]; see [`TimeWheel::bulk`].
+///
+/// Holds the wheel exclusively for its lifetime, so the routing threshold
+/// cached at open time stays valid for every push in the burst. Dropping
+/// the session ends it; there is nothing to flush, since every push lands
+/// in its final structure immediately.
+#[derive(Debug)]
+pub(crate) struct BulkPush<'a, T> {
+    /// The wheel being pushed into.
+    wheel: &'a mut TimeWheel<T>,
+    /// Upper edge of the cursor bucket, hoisted out of the per-push path
+    /// (invariant while the session holds the wheel).
+    cursor_end: SimTime,
+}
+
+impl<T: WheelItem> BulkPush<'_, T> {
+    /// Schedules `item`; equivalent to [`TimeWheel::push`].
+    #[inline]
+    pub(crate) fn push(&mut self, item: T) {
+        self.wheel.len += 1;
+        self.wheel.peak_len = self.wheel.peak_len.max(self.wheel.len);
+        #[cfg(debug_assertions)]
+        self.wheel.shadow.push(Reverse(item.key()));
+        self.wheel.route_within(ByKey(item), self.cursor_end);
     }
 }
 
@@ -449,6 +546,84 @@ mod tests {
         assert_eq!(wheel.pop(), Some((9, 2)));
         wheel.reset(1);
         assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn bulk_push_matches_individual_pushes() {
+        // Two wheels fed the same events — one per-push, one through a bulk
+        // session opened mid-drain (the broadcast fan-out pattern) — must
+        // pop identically. The debug shadow heap re-checks each pop too.
+        let mut rng = StdRng::seed_from_u64(7);
+        let events: Vec<(SimTime, u64)> = (0..500)
+            .map(|seq| (rng.gen_range(0..100_000), seq))
+            .collect();
+        let mut single = TimeWheel::empty();
+        let mut bulk = TimeWheel::empty();
+        single.reset(width_for(1050));
+        bulk.reset(width_for(1050));
+        for &event in &events[..250] {
+            single.push(event);
+            bulk.push(event);
+        }
+        // Drain a little so both wheels are mid-rotation with a sorted
+        // current bucket before the burst arrives.
+        for _ in 0..50 {
+            assert_eq!(single.pop(), bulk.pop());
+        }
+        {
+            let mut session = bulk.bulk();
+            for &event in &events[250..] {
+                session.push(event);
+            }
+        }
+        for &event in &events[250..] {
+            single.push(event);
+        }
+        assert_eq!(drain_sorted(&mut single), drain_sorted(&mut bulk));
+    }
+
+    #[test]
+    fn reset_clamps_capacity_after_a_large_trial() {
+        // Grow-then-shrink-then-grow: a large trial's clear retains its
+        // capacity for reuse (the peak matches the demand), but the clear
+        // after a subsequent small trial must release it — otherwise one
+        // 10⁶-node trial pins hundreds of megabytes in the arena pool for
+        // the rest of the process.
+        let mut wheel = TimeWheel::empty();
+        wheel.reset(width_for(1050));
+        let large = 1_000_000usize;
+        for seq in 0..large {
+            let seq = seq as u64;
+            wheel.push((seq % 4000, seq));
+        }
+        wheel.clear();
+        let after_large = wheel.retained_capacity();
+        let bound = 1000 * WHEEL_CLAMP_FACTOR + SLOTS * WHEEL_RETAIN_FLOOR * WHEEL_CLAMP_FACTOR;
+        assert!(
+            after_large >= large / 2,
+            "large-trial capacity should be retained for reuse, got {after_large}"
+        );
+        assert!(
+            after_large > bound,
+            "large-trial capacity {after_large} must exceed the small-trial bound {bound} \
+             for the shrink assertion below to be meaningful"
+        );
+        // Small trial: its clear sees a small peak and shrinks the pool.
+        for seq in 0..1000u64 {
+            wheel.push((seq % 4000, seq));
+        }
+        wheel.clear();
+        let after_small = wheel.retained_capacity();
+        assert!(
+            after_small <= bound,
+            "retained capacity {after_small} exceeds clamp bound {bound}"
+        );
+        // Growing again after the clamp still works.
+        for seq in 0..10_000u64 {
+            wheel.push((seq % 4000, seq));
+        }
+        assert_eq!(wheel.len(), 10_000);
+        drain_sorted(&mut wheel);
     }
 
     #[test]
