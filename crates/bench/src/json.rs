@@ -216,6 +216,60 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The numeric content as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(value) => Some(*value),
+            Json::Int(value) => u64::try_from(*value).ok(),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (index, (key, value)) in pairs.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars print identically in both modes.
+            scalar => scalar.write_pretty(out, 0),
+        }
+    }
+
+    /// Serialises the value on a single line with no whitespace — the
+    /// framing needed by line-delimited JSON transports such as `fnp-node`.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
 }
 
 /// Error produced by [`Json::parse`].
@@ -857,6 +911,34 @@ mod tests {
             let err = Json::parse(bad).unwrap_err();
             assert!(!err.to_string().is_empty(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_roundtrips() {
+        let value = Json::obj([
+            ("type", Json::from("send")),
+            ("to", Json::from(3u64)),
+            ("items", Json::Arr(vec![Json::from(1u64), Json::Null])),
+            ("empty", Json::obj::<&str, Json>([])),
+        ]);
+        let compact = value.to_compact_string();
+        assert_eq!(
+            compact,
+            r#"{"type":"send","to":3,"items":[1,null],"empty":{}}"#
+        );
+        assert!(!compact.contains('\n'));
+        assert_eq!(Json::parse(&compact).unwrap(), value);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Json::from(7u64).as_u64(), Some(7));
+        assert_eq!(Json::Int(7).as_u64(), Some(7));
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::from("7").as_u64(), None);
+        let arr = Json::Arr(vec![Json::Null]);
+        assert_eq!(arr.as_array(), Some(&[Json::Null][..]));
+        assert_eq!(Json::Null.as_array(), None);
     }
 
     #[test]

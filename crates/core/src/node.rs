@@ -28,7 +28,8 @@ use fnp_crypto::sha256::Sha256;
 use fnp_dcnet::keyed::{combine_contributions_into, KeyedParticipant};
 use fnp_dcnet::slot::SlotOutcome;
 use fnp_dcnet::RoundScratch;
-use fnp_netsim::{Context, NodeId, ProtocolNode};
+use fnp_netsim::NodeId;
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore};
 use rand::Rng;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -88,8 +89,8 @@ struct DcState {
 
 /// Phase-2 infection state (cold; the hot companions — the payload-seen
 /// flag, the flooding phase tag and the last processed spread round — live
-/// in the simulator's struct-of-arrays lanes, accessed through
-/// [`Context::seen`], [`Context::phase`] and [`Context::counter_lane`]).
+/// in the driver's hot lanes, accessed through [`HotLanes::seen`](fnp_proto::HotLanes::seen),
+/// [`HotLanes::phase`](fnp_proto::HotLanes::phase) and [`HotLanes::counter_lane`](fnp_proto::HotLanes::counter_lane)).
 #[derive(Debug, Default, Clone)]
 struct AdState {
     parent: Option<NodeId>,
@@ -116,7 +117,7 @@ pub struct FlexNode {
     /// all nodes of a trial and carries it across trials in the arena.
     scratch: Rc<RefCell<RoundScratch>>,
     /// The transaction payload once this node knows it. Presence is
-    /// mirrored in the hot seen lane; handlers test [`Context::seen`]
+    /// mirrored in the hot seen lane; handlers test [`HotLanes::seen`](fnp_proto::HotLanes::seen)
     /// instead of probing this option.
     payload: Option<Vec<u8>>,
     ad: AdState,
@@ -175,37 +176,48 @@ impl FlexNode {
 
     /// Queues `payload` for anonymous broadcast from this node.
     ///
-    /// Call through [`fnp_netsim::Simulator::trigger`]. The payload is
+    /// Under the simulator, call through [`fnp_netsim::Simulator::trigger`]
+    /// and [`SimDriver::drive`](fnp_proto::SimDriver::drive). The payload is
     /// injected into the next DC-net round of the node's group; if the node
     /// belongs to no group it falls back to flood-and-prune directly (no
     /// anonymity, but delivery is preserved).
-    pub fn start_broadcast(&mut self, payload: Vec<u8>, ctx: &mut Context<'_, FlexMessage>) {
+    pub fn start_broadcast(
+        &mut self,
+        payload: Vec<u8>,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
+    ) {
         self.is_origin = true;
-        ctx.set_seen();
+        view.set_seen();
         self.payload = Some(payload.clone());
-        self.deliver(ctx);
+        self.deliver(out);
         if self.group.is_some() {
-            ctx.record("flex-origin-queued");
+            out.record("flex-origin-queued");
             self.dc.pending_payload = Some(payload);
         } else {
             // Degenerate fallback: no group, no anonymity — flood directly.
-            ctx.record("flex-origin-no-group");
-            self.start_flooding(ctx, None);
+            out.record("flex-origin-no-group");
+            self.start_flooding(view, out, None);
         }
     }
 
-    fn deliver(&mut self, ctx: &mut Context<'_, FlexMessage>) {
-        ctx.mark_delivered();
+    fn deliver(&mut self, out: &mut Mailbox<FlexMessage>) {
+        out.deliver();
     }
 
     /// Learns the payload (idempotent). The duplicate case is decided by
     /// the hot seen lane alone — no cold-state access.
-    fn learn_payload(&mut self, payload: &[u8], ctx: &mut Context<'_, FlexMessage>) -> bool {
-        if ctx.set_seen() {
+    fn learn_payload(
+        &mut self,
+        payload: &[u8],
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
+    ) -> bool {
+        if view.set_seen() {
             return false;
         }
         self.payload = Some(payload.to_vec());
-        self.deliver(ctx);
+        self.deliver(out);
         true
     }
 
@@ -215,7 +227,7 @@ impl FlexNode {
 
     /// Starts the next DC-net round: computes this node's contribution and
     /// sends it to every other group member.
-    fn run_dc_round(&mut self, ctx: &mut Context<'_, FlexMessage>) {
+    fn run_dc_round(&mut self, view: &mut impl NodeView, out: &mut Mailbox<FlexMessage>) {
         let Some(group) = self.group.as_ref() else {
             return;
         };
@@ -264,7 +276,7 @@ impl FlexNode {
             if index == own_index {
                 continue;
             }
-            ctx.send(
+            out.send(
                 *member,
                 FlexMessage::DcContribution {
                     round,
@@ -278,13 +290,13 @@ impl FlexNode {
             .entry(round)
             .or_default()
             .insert(own_index, contribution);
-        ctx.record("flex-dc-rounds");
+        out.record("flex-dc-rounds");
 
         // Schedule the next round while the budget lasts.
         if self.dc.rounds_started < self.config.max_dc_rounds {
-            ctx.set_timer(self.config.dc_round_interval, TIMER_DC_ROUND);
+            out.set_timer(self.config.dc_round_interval, TIMER_DC_ROUND);
         }
-        self.try_resolve_round(round, ctx);
+        self.try_resolve_round(round, view, out);
     }
 
     /// Stores a received contribution and resolves the round once complete.
@@ -293,13 +305,14 @@ impl FlexNode {
         round: u64,
         member_index: usize,
         data: Vec<u8>,
-        ctx: &mut Context<'_, FlexMessage>,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
     ) {
         let Some(group) = self.group.as_ref() else {
             return;
         };
         if member_index >= group.members.len() || data.len() != self.config.slot_len {
-            ctx.record("flex-dc-malformed");
+            out.record("flex-dc-malformed");
             return;
         }
         self.dc
@@ -307,11 +320,16 @@ impl FlexNode {
             .entry(round)
             .or_default()
             .insert(member_index, data);
-        self.try_resolve_round(round, ctx);
+        self.try_resolve_round(round, view, out);
     }
 
     /// Combines a round once all contributions are present.
-    fn try_resolve_round(&mut self, round: u64, ctx: &mut Context<'_, FlexMessage>) {
+    fn try_resolve_round(
+        &mut self,
+        round: u64,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
+    ) {
         let Some(group) = self.group.as_ref() else {
             return;
         };
@@ -345,19 +363,19 @@ impl FlexNode {
 
         match outcome {
             SlotOutcome::Silence => {
-                ctx.record("flex-dc-silent-rounds");
+                out.record("flex-dc-silent-rounds");
             }
             SlotOutcome::Collision => {
-                ctx.record("flex-dc-collisions");
+                out.record("flex-dc-collisions");
                 // If we injected into this round, back off for one round and
                 // retry (the payload stays pending).
-                if self.dc.injected_in == Some(round) && ctx.rng().gen_bool(0.5) {
+                if self.dc.injected_in == Some(round) && view.rng().gen_bool(0.5) {
                     self.dc.backoff = true;
                 }
                 self.dc.injected_in = None;
             }
             SlotOutcome::Message(message) => {
-                ctx.record("flex-dc-delivered-rounds");
+                out.record("flex-dc-delivered-rounds");
                 // The round succeeded; if it was ours, the payload is on its way.
                 if self.dc.injected_in == Some(round) {
                     if self.dc.pending_payload.as_deref() == Some(message.as_slice()) {
@@ -365,8 +383,8 @@ impl FlexNode {
                     }
                     self.dc.injected_in = None;
                 }
-                self.learn_payload(&message, ctx);
-                self.maybe_become_virtual_source(&message, ctx);
+                self.learn_payload(&message, view, out);
+                self.maybe_become_virtual_source(&message, view, out);
             }
         }
     }
@@ -376,7 +394,12 @@ impl FlexNode {
     // ------------------------------------------------------------------
 
     /// Every group member evaluates the election; only the winner acts.
-    fn maybe_become_virtual_source(&mut self, message: &[u8], ctx: &mut Context<'_, FlexMessage>) {
+    fn maybe_become_virtual_source(
+        &mut self,
+        message: &[u8],
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
+    ) {
         let Some(group) = self.group.as_ref() else {
             return;
         };
@@ -386,20 +409,20 @@ impl FlexNode {
                 let Some(elected) = elect_virtual_source_index(&group.identities, &digest) else {
                     return;
                 };
-                ctx.record("flex-elections");
+                out.record("flex-elections");
                 elected == group.own_index
             }
             // Ablation baseline: skip the election and keep the originator as
             // the virtual source (only the originator knows it qualifies).
             crate::config::ElectionStrategy::OriginatorAsSource => {
-                ctx.record("flex-elections");
+                out.record("flex-elections");
                 self.is_origin
             }
         };
         if !is_winner {
             return;
         }
-        ctx.record("flex-elected-vs");
+        out.record("flex-elected-vs");
 
         // The elected member becomes the initial virtual source. The other
         // group members already know the transaction (via the DC-net), so
@@ -421,13 +444,13 @@ impl FlexNode {
             round: 0,
             received_from: None,
         });
-        ctx.mark_round_seen(0);
+        view.mark_round_seen(0);
 
         // Immediately run the first diffusion expansion around the group,
         // then pace further rounds with the timer.
-        self.grow_frontier(0, &[], ctx);
-        self.forward_spread(0, &[], ctx);
-        ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+        self.grow_frontier(0, &[], view, out);
+        self.forward_spread(0, &[], out);
+        out.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
     }
 
     // ------------------------------------------------------------------
@@ -443,23 +466,23 @@ impl FlexNode {
         &mut self,
         round: u32,
         excluded: &[NodeId],
-        ctx: &mut Context<'_, FlexMessage>,
+        view: &impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
     ) {
-        if ctx.phase() == PHASE_FLOODING {
+        if view.phase() == PHASE_FLOODING {
             return;
         }
         let payload = self.payload_clone();
         let parent = self.ad.parent;
-        let targets: Vec<NodeId> = ctx
-            .neighbors()
-            .iter()
-            .copied()
-            .filter(|n| {
-                Some(*n) != parent && !self.ad.children.contains(n) && !excluded.contains(n)
-            })
-            .collect();
-        for target in targets {
-            ctx.send(
+        for target in view.neighbors() {
+            let target = *target;
+            if Some(target) == parent
+                || self.ad.children.contains(&target)
+                || excluded.contains(&target)
+            {
+                continue;
+            }
+            out.send(
                 target,
                 FlexMessage::AdInfect {
                     round,
@@ -471,60 +494,60 @@ impl FlexNode {
     }
 
     /// Forwards a spread wave to the diffusion children.
-    fn forward_spread(&self, round: u32, excluded: &[NodeId], ctx: &mut Context<'_, FlexMessage>) {
+    fn forward_spread(&self, round: u32, excluded: &[NodeId], out: &mut Mailbox<FlexMessage>) {
         for &child in &self.ad.children {
             if !excluded.contains(&child) {
-                ctx.send(child, FlexMessage::AdSpread { round });
+                out.send(child, FlexMessage::AdSpread { round });
             }
         }
     }
 
     /// One virtual-source round: keep-and-spread, pass, or — once the round
     /// counter reaches `d` — trigger the switch to phase 3.
-    fn run_ad_round(&mut self, ctx: &mut Context<'_, FlexMessage>) {
+    fn run_ad_round(&mut self, view: &mut impl NodeView, out: &mut Mailbox<FlexMessage>) {
         let Some(mut token) = self.ad.token.take() else {
             return;
         };
-        if ctx.phase() == PHASE_FLOODING {
+        if view.phase() == PHASE_FLOODING {
             return;
         }
         token.t += 2;
         token.round += 1;
-        ctx.record("flex-ad-rounds");
+        out.record("flex-ad-rounds");
 
         if token.round > self.config.d {
             // Transition 2 → 3: the final virtual source sends the last
             // spread request, which doubles as the switch-to-flood signal.
-            ctx.record("flex-switch-to-flood");
+            out.record("flex-switch-to-flood");
             self.ad.token = Some(token);
             let payload = self.payload_clone();
             for child in self.ad.children.clone() {
-                ctx.send(
+                out.send(
                     child,
                     FlexMessage::FinalSpread {
                         payload: payload.clone(),
                     },
                 );
             }
-            self.start_flooding(ctx, None);
+            self.start_flooding(view, out, None);
             return;
         }
 
-        let keep = ctx
+        let keep = view
             .rng()
             .gen_bool(self.config.schedule.keep_probability(token.t, token.h));
         if keep {
-            ctx.record("flex-ad-keep");
+            out.record("flex-ad-keep");
             let round = token.round;
-            ctx.mark_round_seen(round);
+            view.mark_round_seen(round);
             self.ad.token = Some(token);
-            self.forward_spread(round, &[], ctx);
-            self.grow_frontier(round, &[], ctx);
-            ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+            self.forward_spread(round, &[], out);
+            self.grow_frontier(round, &[], view, out);
+            out.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
         } else {
-            ctx.record("flex-ad-pass");
+            out.record("flex-ad-pass");
             let received_from = token.received_from;
-            let candidates: Vec<NodeId> = ctx
+            let candidates: Vec<NodeId> = view
                 .neighbors()
                 .iter()
                 .copied()
@@ -532,16 +555,16 @@ impl FlexNode {
                 .collect();
             if candidates.is_empty() {
                 let round = token.round;
-                ctx.mark_round_seen(round);
+                view.mark_round_seen(round);
                 self.ad.token = Some(token);
-                self.forward_spread(round, &[], ctx);
-                self.grow_frontier(round, &[], ctx);
-                ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+                self.forward_spread(round, &[], out);
+                self.grow_frontier(round, &[], view, out);
+                out.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
                 return;
             }
-            let next = candidates[ctx.rng().gen_range(0..candidates.len())];
+            let next = candidates[view.rng().gen_range(0..candidates.len())];
             if !self.ad.children.contains(&next) && self.ad.parent != Some(next) {
-                ctx.send(
+                out.send(
                     next,
                     FlexMessage::AdInfect {
                         round: token.round,
@@ -550,7 +573,7 @@ impl FlexNode {
                 );
                 self.ad.children.push(next);
             }
-            ctx.send(
+            out.send(
                 next,
                 FlexMessage::AdToken {
                     t: token.t,
@@ -567,34 +590,57 @@ impl FlexNode {
 
     /// Switches this node to flood-and-prune and relays the transaction to
     /// its overlay neighbours (except `exclude`).
-    fn start_flooding(&mut self, ctx: &mut Context<'_, FlexMessage>, exclude: Option<NodeId>) {
-        if ctx.phase() == PHASE_FLOODING {
+    fn start_flooding(
+        &mut self,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
+        exclude: Option<NodeId>,
+    ) {
+        if view.phase() == PHASE_FLOODING {
             return;
         }
-        ctx.set_phase(PHASE_FLOODING);
+        view.set_phase(PHASE_FLOODING);
         let payload = self.payload_clone();
         let excluded: Vec<NodeId> = exclude.into_iter().collect();
-        ctx.send_to_neighbors_except(FlexMessage::Flood { payload }, &excluded);
+        out.broadcast(FlexMessage::Flood { payload }, &excluded);
     }
 }
 
-impl ProtocolNode for FlexNode {
+impl ProtocolCore for FlexNode {
     type Message = FlexMessage;
 
-    fn on_init(&mut self, ctx: &mut Context<'_, FlexMessage>) {
-        // Group members pace their periodic DC-net rounds from the start of
-        // the simulation; a small deterministic stagger is unnecessary
-        // because round numbers are carried explicitly.
-        if self.group.is_some() {
-            ctx.set_timer(self.config.dc_round_interval, TIMER_DC_ROUND);
+    fn poll<V: NodeView>(
+        &mut self,
+        input: Input<FlexMessage>,
+        view: &mut V,
+        out: &mut Mailbox<FlexMessage>,
+    ) {
+        match input {
+            Input::Init => {
+                // Group members pace their periodic DC-net rounds from the
+                // start of the run; a small deterministic stagger is
+                // unnecessary because round numbers are carried explicitly.
+                if self.group.is_some() {
+                    out.set_timer(self.config.dc_round_interval, TIMER_DC_ROUND);
+                }
+            }
+            Input::Message { from, message } => self.on_flex_message(from, message, view, out),
+            Input::TimerFired { tag } => match tag {
+                TIMER_DC_ROUND => self.run_dc_round(view, out),
+                TIMER_AD_ROUND => self.run_ad_round(view, out),
+                _ => {}
+            },
         }
     }
+}
 
-    fn on_message(
+impl FlexNode {
+    fn on_flex_message(
         &mut self,
         from: NodeId,
         message: FlexMessage,
-        ctx: &mut Context<'_, FlexMessage>,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FlexMessage>,
     ) {
         match message {
             FlexMessage::DcContribution {
@@ -602,38 +648,38 @@ impl ProtocolNode for FlexNode {
                 member_index,
                 data,
             } => {
-                self.on_dc_contribution(round, member_index, data, ctx);
+                self.on_dc_contribution(round, member_index, data, view, out);
             }
             FlexMessage::AdInfect { round, payload } => {
-                if self.learn_payload(&payload, ctx) {
+                if self.learn_payload(&payload, view, out) {
                     self.ad.parent = Some(from);
                 }
                 // Note: an already-informed node ignores repeated infections.
                 let _ = round;
             }
             FlexMessage::AdSpread { round } => {
-                if !ctx.seen() {
+                if !view.seen() {
                     // A spread instruction without the payload can only be
                     // acted upon once the payload arrives; drop it (the next
                     // wave will reach us again through our future parent).
-                    ctx.record("flex-spread-before-payload");
+                    out.record("flex-spread-before-payload");
                     return;
                 }
-                if ctx.phase() == PHASE_FLOODING {
+                if view.phase() == PHASE_FLOODING {
                     return;
                 }
-                if ctx.round_seen(round) {
+                if view.round_seen(round) {
                     return;
                 }
-                ctx.mark_round_seen(round);
-                self.forward_spread(round, &[from], ctx);
-                self.grow_frontier(round, &[from], ctx);
+                view.mark_round_seen(round);
+                self.forward_spread(round, &[from], out);
+                self.grow_frontier(round, &[from], view, out);
             }
             FlexMessage::AdToken { t, h, round } => {
                 // The token always follows an infection, so the payload is
                 // normally known by now.
-                if !ctx.seen() {
-                    ctx.record("flex-token-before-payload");
+                if !view.seen() {
+                    out.record("flex-token-before-payload");
                 }
                 self.ad.token = Some(AdToken {
                     t,
@@ -641,14 +687,14 @@ impl ProtocolNode for FlexNode {
                     round,
                     received_from: Some(from),
                 });
-                ctx.mark_round_seen(round);
-                self.forward_spread(round, &[from], ctx);
-                self.grow_frontier(round, &[from], ctx);
-                ctx.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
+                view.mark_round_seen(round);
+                self.forward_spread(round, &[from], out);
+                self.grow_frontier(round, &[from], view, out);
+                out.set_timer(self.config.ad_round_interval, TIMER_AD_ROUND);
             }
             FlexMessage::FinalSpread { payload } => {
-                self.learn_payload(&payload, ctx);
-                if ctx.phase() == PHASE_FLOODING {
+                self.learn_payload(&payload, view, out);
+                if view.phase() == PHASE_FLOODING {
                     // Already switched: the signal has been handled (and the
                     // diffusion "children" relation may contain cycles, so
                     // forwarding again could circulate the request forever).
@@ -659,7 +705,7 @@ impl ProtocolNode for FlexNode {
                 let forwarded = payload.clone();
                 for child in self.ad.children.clone() {
                     if child != from {
-                        ctx.send(
+                        out.send(
                             child,
                             FlexMessage::FinalSpread {
                                 payload: forwarded.clone(),
@@ -667,22 +713,14 @@ impl ProtocolNode for FlexNode {
                         );
                     }
                 }
-                self.start_flooding(ctx, Some(from));
+                self.start_flooding(view, out, Some(from));
             }
             FlexMessage::Flood { payload } => {
-                self.learn_payload(&payload, ctx);
-                if ctx.phase() != PHASE_FLOODING {
-                    self.start_flooding(ctx, Some(from));
+                self.learn_payload(&payload, view, out);
+                if view.phase() != PHASE_FLOODING {
+                    self.start_flooding(view, out, Some(from));
                 }
             }
-        }
-    }
-
-    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, FlexMessage>) {
-        match tag {
-            TIMER_DC_ROUND => self.run_dc_round(ctx),
-            TIMER_AD_ROUND => self.run_ad_round(ctx),
-            _ => {}
         }
     }
 }
@@ -696,11 +734,13 @@ mod tests {
         use fnp_netsim::{topology, SimConfig, Simulator};
         let graph = topology::ring(10).unwrap();
         let nodes = (0..10)
-            .map(|_| FlexNode::new(FlexConfig::default(), None))
+            .map(|_| fnp_proto::SimDriver::new(FlexNode::new(FlexConfig::default(), None)))
             .collect();
         let mut sim = Simulator::new(graph, nodes, SimConfig::default());
-        sim.trigger(NodeId::new(0), |node, ctx| {
-            node.start_broadcast(b"tx".to_vec(), ctx)
+        sim.trigger(NodeId::new(0), |driver, ctx| {
+            driver.drive(ctx, |node, view, out| {
+                node.start_broadcast(b"tx".to_vec(), view, out);
+            });
         });
         let metrics = sim.run();
         assert_eq!(metrics.coverage(), 1.0);

@@ -3,14 +3,15 @@
 //! Phase 2 of the flexible privacy-preserving broadcast runs *adaptive
 //! diffusion* (Fanti et al.) for `d` rounds, starting from the virtual
 //! source elected inside the DC-net group. This crate implements the
-//! protocol as a reusable simulator state machine plus the pieces the
-//! combined protocol and the experiments need:
+//! protocol as a reusable sans-IO [`fnp_proto::ProtocolCore`] plus the
+//! pieces the combined protocol and the experiments need:
 //!
 //! * [`alpha`] — the virtual-source hand-off probability schedules,
 //!   including the regular-tree formula of Fanti et al. and degenerate
 //!   schedules for ablations.
 //! * [`protocol`] — the [`AdaptiveDiffusionNode`] state machine (infection
-//!   tree, token transfers, spread waves) over `fnp-netsim`.
+//!   tree, token transfers, spread waves), simulator-driven through
+//!   [`fnp_proto::SimDriver`].
 //! * [`report`] — a convenience runner producing the message-count figures
 //!   of the paper's §V-A (experiment E6).
 //!

@@ -1,4 +1,4 @@
-//! The adaptive diffusion protocol as a simulator state machine.
+//! The adaptive diffusion protocol as a sans-IO state machine.
 //!
 //! Adaptive diffusion (Fanti et al., "Spy vs. Spy: Rumor Source
 //! Obfuscation") breaks the symmetry that deanonymises ordinary flooding:
@@ -23,7 +23,8 @@
 //! §V-A and reproduced by experiment E6).
 
 use crate::alpha::AlphaSchedule;
-use fnp_netsim::{Context, NodeId, Payload, ProtocolNode, SimTime, MILLISECOND};
+use fnp_netsim::{NodeId, Payload, SimTime, MILLISECOND};
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore};
 use rand::Rng;
 
 /// Timer tag used by the virtual source to pace rounds.
@@ -113,10 +114,11 @@ struct Token {
 /// Per-node infection state (cold: touched only by the owning node's
 /// handlers once the hot-lane checks have passed).
 ///
-/// The hot companions live in the simulator's struct-of-arrays lanes: the
-/// [`seen` lane](Context::seen) mirrors `is_some()` of the node's
-/// `Option<Infection>` for the duplicate-infection fast path, and the
-/// [`counter` lane](Context::counter_lane) holds the highest spread-wave
+/// The hot companions live in the driver's hot lanes (struct-of-arrays
+/// under the simulator): the [`seen` lane](fnp_proto::HotLanes::seen) mirrors
+/// `is_some()` of the node's `Option<Infection>` for the
+/// duplicate-infection fast path, and the
+/// [`counter` lane](fnp_proto::HotLanes::counter_lane) holds the highest spread-wave
 /// round already processed (encoded as `round + 1`, `0` = none), which
 /// suppresses duplicate waves without touching this struct (the infection
 /// "children" relation can contain cycles on general graphs, so without the
@@ -172,29 +174,30 @@ impl AdaptiveDiffusionNode {
         self.infection.as_ref().and_then(|state| state.parent)
     }
 
-    /// Starts a broadcast from this node. Call through
-    /// [`fnp_netsim::Simulator::trigger`] on the origin node.
+    /// Starts a broadcast from this node. Under the simulator, call through
+    /// [`fnp_netsim::Simulator::trigger`] +
+    /// [`SimDriver::drive`](fnp_proto::SimDriver::drive) on the origin node.
     ///
     /// Following Fanti et al., the origin infects one random neighbour and
     /// immediately hands it the virtual-source token, so the origin itself
     /// never acts as the centre of the spread.
-    pub fn start_broadcast(&mut self, ctx: &mut Context<'_, AdMessage>) {
-        if ctx.set_seen() {
+    pub fn start_broadcast(&mut self, view: &mut impl NodeView, out: &mut Mailbox<AdMessage>) {
+        if view.set_seen() {
             return;
         }
         self.is_origin = true;
         let mut infection = Infection::default();
-        ctx.mark_delivered();
-        ctx.record("ad-origin");
+        out.deliver();
+        out.record("ad-origin");
 
-        let neighbors = ctx.neighbors().to_vec();
+        let neighbors = view.neighbors().to_vec();
         if neighbors.is_empty() {
             self.infection = Some(infection);
             return;
         }
-        let first = neighbors[ctx.rng().gen_range(0..neighbors.len())];
-        ctx.send(first, AdMessage::Infect { round: 0 });
-        ctx.send(
+        let first = neighbors[view.rng().gen_range(0..neighbors.len())];
+        out.send(first, AdMessage::Infect { round: 0 });
+        out.send(
             first,
             AdMessage::Token {
                 t: 2,
@@ -211,8 +214,13 @@ impl AdaptiveDiffusionNode {
     /// The duplicate case — the hottest branch of the protocol, hit by
     /// every redundant `Infect`/`Spread` delivery — is decided entirely by
     /// the dense seen lane without loading this node's cold state.
-    fn infect(&mut self, parent: Option<NodeId>, ctx: &mut Context<'_, AdMessage>) -> bool {
-        if ctx.set_seen() {
+    fn infect(
+        &mut self,
+        parent: Option<NodeId>,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<AdMessage>,
+    ) -> bool {
+        if view.set_seen() {
             return false;
         }
         self.infection = Some(Infection {
@@ -220,45 +228,50 @@ impl AdaptiveDiffusionNode {
             children: Vec::new(),
             token: None,
         });
-        ctx.mark_delivered();
+        out.deliver();
         true
     }
 
     /// Sends infections to all uninfected-looking neighbours (those that are
     /// neither our parent nor already our children), excluding `excluded`.
-    fn grow_frontier(&mut self, round: u32, excluded: &[NodeId], ctx: &mut Context<'_, AdMessage>) {
+    fn grow_frontier(
+        &mut self,
+        round: u32,
+        excluded: &[NodeId],
+        view: &impl NodeView,
+        out: &mut Mailbox<AdMessage>,
+    ) {
         let Some(infection) = self.infection.as_mut() else {
             return;
         };
         let parent = infection.parent;
-        let targets: Vec<NodeId> = ctx
-            .neighbors()
-            .iter()
-            .copied()
-            .filter(|n| {
-                Some(*n) != parent && !infection.children.contains(n) && !excluded.contains(n)
-            })
-            .collect();
-        for target in targets {
-            ctx.send(target, AdMessage::Infect { round });
+        for target in view.neighbors() {
+            let target = *target;
+            if Some(target) == parent
+                || infection.children.contains(&target)
+                || excluded.contains(&target)
+            {
+                continue;
+            }
+            out.send(target, AdMessage::Infect { round });
             infection.children.push(target);
         }
     }
 
     /// Forwards a spread wave to the infection-tree children.
-    fn forward_spread(&self, round: u32, excluded: &[NodeId], ctx: &mut Context<'_, AdMessage>) {
+    fn forward_spread(&self, round: u32, excluded: &[NodeId], out: &mut Mailbox<AdMessage>) {
         let Some(infection) = self.infection.as_ref() else {
             return;
         };
         for &child in &infection.children {
             if !excluded.contains(&child) {
-                ctx.send(child, AdMessage::Spread { round });
+                out.send(child, AdMessage::Spread { round });
             }
         }
     }
 
     /// Executes one virtual-source round: keep (and spread) or pass.
-    fn run_round(&mut self, ctx: &mut Context<'_, AdMessage>) {
+    fn run_round(&mut self, view: &mut impl NodeView, out: &mut Mailbox<AdMessage>) {
         let Some(infection) = self.infection.as_mut() else {
             return;
         };
@@ -267,34 +280,34 @@ impl AdaptiveDiffusionNode {
         };
         token.t += 2;
         token.round += 1;
-        ctx.record("ad-rounds");
+        out.record("ad-rounds");
 
         if token.round > self.params.max_rounds {
             // The final virtual source simply stops (it keeps the token but
             // schedules no further rounds); the flexible broadcast protocol
             // (fnp-core) instead switches to flood-and-prune here.
             infection.token = Some(token);
-            ctx.record("ad-finished");
+            out.record("ad-finished");
             return;
         }
 
         let keep_probability = self.params.schedule.keep_probability(token.t, token.h);
-        let keep = ctx.rng().gen_bool(keep_probability);
+        let keep = view.rng().gen_bool(keep_probability);
 
         if keep {
-            ctx.record("ad-keep");
+            out.record("ad-keep");
             let round = token.round;
             infection.token = Some(token);
-            ctx.mark_round_seen(round);
-            self.forward_spread(round, &[], ctx);
-            self.grow_frontier(round, &[], ctx);
-            ctx.set_timer(self.params.round_interval, ROUND_TIMER);
+            view.mark_round_seen(round);
+            self.forward_spread(round, &[], out);
+            self.grow_frontier(round, &[], view, out);
+            out.set_timer(self.params.round_interval, ROUND_TIMER);
         } else {
-            ctx.record("ad-pass");
+            out.record("ad-pass");
             // Pass the token to a random neighbour other than the one we got
             // it from. If no such neighbour exists we keep it instead.
             let received_from = token.received_from;
-            let candidates: Vec<NodeId> = ctx
+            let candidates: Vec<NodeId> = view
                 .neighbors()
                 .iter()
                 .copied()
@@ -303,18 +316,18 @@ impl AdaptiveDiffusionNode {
             if candidates.is_empty() {
                 let round = token.round;
                 infection.token = Some(token);
-                ctx.mark_round_seen(round);
-                self.forward_spread(round, &[], ctx);
-                self.grow_frontier(round, &[], ctx);
-                ctx.set_timer(self.params.round_interval, ROUND_TIMER);
+                view.mark_round_seen(round);
+                self.forward_spread(round, &[], out);
+                self.grow_frontier(round, &[], view, out);
+                out.set_timer(self.params.round_interval, ROUND_TIMER);
                 return;
             }
-            let next = candidates[ctx.rng().gen_range(0..candidates.len())];
+            let next = candidates[view.rng().gen_range(0..candidates.len())];
             if !infection.children.contains(&next) && infection.parent != Some(next) {
-                ctx.send(next, AdMessage::Infect { round: token.round });
+                out.send(next, AdMessage::Infect { round: token.round });
                 infection.children.push(next);
             }
-            ctx.send(
+            out.send(
                 next,
                 AdMessage::Token {
                     t: token.t,
@@ -327,50 +340,57 @@ impl AdaptiveDiffusionNode {
     }
 }
 
-impl ProtocolNode for AdaptiveDiffusionNode {
+impl ProtocolCore for AdaptiveDiffusionNode {
     type Message = AdMessage;
 
-    fn on_message(&mut self, from: NodeId, message: AdMessage, ctx: &mut Context<'_, AdMessage>) {
-        match message {
-            AdMessage::Infect { .. } => {
-                self.infect(Some(from), ctx);
-            }
-            AdMessage::Spread { round } => {
-                // A spread wave: make sure we are infected, pass it on to our
-                // subtree and grow the frontier around us. Each wave (round)
-                // is processed at most once per node — tracked in the hot
-                // counter lane — so that cycles in the infection relation
-                // cannot circulate a wave indefinitely.
-                self.infect(Some(from), ctx);
-                if ctx.round_seen(round) {
-                    return;
+    fn poll<V: NodeView>(
+        &mut self,
+        input: Input<AdMessage>,
+        view: &mut V,
+        out: &mut Mailbox<AdMessage>,
+    ) {
+        match input {
+            Input::Init => {}
+            Input::Message { from, message } => match message {
+                AdMessage::Infect { .. } => {
+                    self.infect(Some(from), view, out);
                 }
-                ctx.mark_round_seen(round);
-                self.forward_spread(round, &[from], ctx);
-                self.grow_frontier(round, &[from], ctx);
+                AdMessage::Spread { round } => {
+                    // A spread wave: make sure we are infected, pass it on to
+                    // our subtree and grow the frontier around us. Each wave
+                    // (round) is processed at most once per node — tracked in
+                    // the hot counter lane — so that cycles in the infection
+                    // relation cannot circulate a wave indefinitely.
+                    self.infect(Some(from), view, out);
+                    if view.round_seen(round) {
+                        return;
+                    }
+                    view.mark_round_seen(round);
+                    self.forward_spread(round, &[from], out);
+                    self.grow_frontier(round, &[from], view, out);
+                }
+                AdMessage::Token { t, h, round } => {
+                    self.infect(Some(from), view, out);
+                    view.mark_round_seen(round);
+                    let infection = self.infection.as_mut().expect("infected above");
+                    infection.token = Some(Token {
+                        t,
+                        h,
+                        round,
+                        received_from: Some(from),
+                    });
+                    // The new virtual source spreads in every direction except
+                    // the one the token came from, then paces further rounds.
+                    self.forward_spread(round, &[from], out);
+                    self.grow_frontier(round, &[from], view, out);
+                    out.set_timer(self.params.round_interval, ROUND_TIMER);
+                }
+            },
+            Input::TimerFired { tag } => {
+                if tag == ROUND_TIMER {
+                    self.run_round(view, out);
+                }
             }
-            AdMessage::Token { t, h, round } => {
-                self.infect(Some(from), ctx);
-                ctx.mark_round_seen(round);
-                let infection = self.infection.as_mut().expect("infected above");
-                infection.token = Some(Token {
-                    t,
-                    h,
-                    round,
-                    received_from: Some(from),
-                });
-                // The new virtual source spreads in every direction except
-                // the one the token came from, then paces further rounds.
-                self.forward_spread(round, &[from], ctx);
-                self.grow_frontier(round, &[from], ctx);
-                ctx.set_timer(self.params.round_interval, ROUND_TIMER);
-            }
-        }
-    }
-
-    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, AdMessage>) {
-        if tag == ROUND_TIMER {
-            self.run_round(ctx);
         }
     }
 }
@@ -379,6 +399,7 @@ impl ProtocolNode for AdaptiveDiffusionNode {
 mod tests {
     use super::*;
     use fnp_netsim::{topology, LatencyModel, SimConfig, Simulator};
+    use fnp_proto::SimDriver;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -387,10 +408,15 @@ mod tests {
         degree: usize,
         params: AdParams,
         seed: u64,
-    ) -> (Simulator<AdaptiveDiffusionNode>, fnp_netsim::Metrics) {
+    ) -> (
+        Simulator<SimDriver<AdaptiveDiffusionNode>>,
+        fnp_netsim::Metrics,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let graph = topology::random_regular(n, degree, &mut rng).unwrap();
-        let nodes = (0..n).map(|_| AdaptiveDiffusionNode::new(params)).collect();
+        let nodes = (0..n)
+            .map(|_| SimDriver::new(AdaptiveDiffusionNode::new(params)))
+            .collect();
         let mut sim = Simulator::new(
             graph,
             nodes,
@@ -404,7 +430,9 @@ mod tests {
                 ..SimConfig::default()
             },
         );
-        sim.trigger(NodeId::new(0), |node, ctx| node.start_broadcast(ctx));
+        sim.trigger(NodeId::new(0), |driver, ctx| {
+            driver.drive(ctx, |node, view, out| node.start_broadcast(view, out));
+        });
         let metrics = sim.run().clone();
         (sim, metrics)
     }
@@ -546,9 +574,13 @@ mod tests {
     #[test]
     fn isolated_origin_does_not_panic() {
         let graph = fnp_netsim::Graph::new(1);
-        let nodes = vec![AdaptiveDiffusionNode::new(AdParams::default())];
+        let nodes = vec![SimDriver::new(AdaptiveDiffusionNode::new(
+            AdParams::default(),
+        ))];
         let mut sim = Simulator::new(graph, nodes, SimConfig::default());
-        sim.trigger(NodeId::new(0), |node, ctx| node.start_broadcast(ctx));
+        sim.trigger(NodeId::new(0), |driver, ctx| {
+            driver.drive(ctx, |node, view, out| node.start_broadcast(view, out));
+        });
         let metrics = sim.run();
         assert_eq!(metrics.delivered_count(), 1);
         assert_eq!(metrics.messages_sent, 0);

@@ -17,9 +17,8 @@
 //! attacks the line graph is re-randomised every epoch
 //! ([`StemLine::rerandomize`]).
 
-use fnp_netsim::{
-    Context, Graph, Metrics, NodeId, Payload, ProtocolNode, SimConfig, Simulator, TrialArena,
-};
+use fnp_netsim::{Graph, Metrics, NodeId, Payload, SimConfig, Simulator, TrialArena};
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SimDriver};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -132,11 +131,12 @@ impl Default for DandelionParams {
     }
 }
 
-/// A node executing Dandelion.
+/// A node executing Dandelion, as a sans-IO [`ProtocolCore`].
 ///
-/// The hot per-event seen flag lives in the simulator's
-/// [`seen` lane](Context::seen); this struct keeps only the cold fields
-/// (successor, origin/fluff markers) that are read at most once per run.
+/// The hot per-event seen flag lives in the driver's
+/// [`seen` lane](fnp_proto::HotLanes::seen); this struct keeps only the
+/// cold fields (successor, origin/fluff markers) that are read at most
+/// once per run.
 #[derive(Clone, Debug)]
 pub struct DandelionNode {
     params: DandelionParams,
@@ -169,14 +169,19 @@ impl DandelionNode {
     }
 
     /// Starts a Dandelion broadcast of `tx_id` from this node.
-    pub fn start_broadcast(&mut self, tx_id: u64, ctx: &mut Context<'_, DandelionMessage>) {
-        if ctx.set_seen() {
+    pub fn start_broadcast(
+        &mut self,
+        tx_id: u64,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<DandelionMessage>,
+    ) {
+        if view.set_seen() {
             return;
         }
         self.origin = true;
-        ctx.mark_delivered();
-        ctx.record("dandelion-origin");
-        self.relay_stem(tx_id, self.params.max_stem_hops, ctx);
+        out.deliver();
+        out.record("dandelion-origin");
+        self.relay_stem(tx_id, self.params.max_stem_hops, view, out);
     }
 
     /// Decides whether to continue the stem or fluff, and acts accordingly.
@@ -184,12 +189,13 @@ impl DandelionNode {
         &mut self,
         tx_id: u64,
         remaining_hops: u32,
-        ctx: &mut Context<'_, DandelionMessage>,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<DandelionMessage>,
     ) {
         let continue_stem =
-            remaining_hops > 0 && ctx.rng().gen_bool(self.params.stem_continue_probability);
+            remaining_hops > 0 && view.rng().gen_bool(self.params.stem_continue_probability);
         if continue_stem {
-            ctx.send(
+            out.send(
                 self.stem_successor,
                 DandelionMessage::Stem {
                     tx_id,
@@ -198,43 +204,46 @@ impl DandelionNode {
             );
         } else {
             self.fluffed_here = true;
-            ctx.record("dandelion-fluff-start");
-            ctx.send_to_neighbors_except(DandelionMessage::Fluff { tx_id }, &[]);
+            out.record("dandelion-fluff-start");
+            out.broadcast(DandelionMessage::Fluff { tx_id }, &[]);
         }
     }
 }
 
-impl ProtocolNode for DandelionNode {
+impl ProtocolCore for DandelionNode {
     type Message = DandelionMessage;
 
-    fn on_message(
+    fn poll<V: NodeView>(
         &mut self,
-        from: NodeId,
-        message: DandelionMessage,
-        ctx: &mut Context<'_, DandelionMessage>,
+        input: Input<DandelionMessage>,
+        view: &mut V,
+        out: &mut Mailbox<DandelionMessage>,
     ) {
+        let Input::Message { from, message } = input else {
+            return;
+        };
         match message {
             DandelionMessage::Stem {
                 tx_id,
                 remaining_hops,
             } => {
-                if ctx.seen() {
+                if view.seen() {
                     // A stem relay that loops back onto a node that has
                     // already seen the transaction fluffs immediately, as in
                     // the reference implementation.
-                    ctx.send_to_neighbors_except(DandelionMessage::Fluff { tx_id }, &[from]);
+                    out.broadcast(DandelionMessage::Fluff { tx_id }, &[from]);
                     return;
                 }
-                ctx.set_seen();
-                ctx.mark_delivered();
-                self.relay_stem(tx_id, remaining_hops, ctx);
+                view.set_seen();
+                out.deliver();
+                self.relay_stem(tx_id, remaining_hops, view, out);
             }
             DandelionMessage::Fluff { tx_id } => {
-                if ctx.set_seen() {
+                if view.set_seen() {
                     return;
                 }
-                ctx.mark_delivered();
-                ctx.send_to_neighbors_except(DandelionMessage::Fluff { tx_id }, &[from]);
+                out.deliver();
+                out.broadcast(DandelionMessage::Fluff { tx_id }, &[from]);
             }
         }
     }
@@ -289,13 +298,19 @@ pub fn run_dandelion_in(
         line.len(),
         "stem line must cover exactly the overlay nodes"
     );
-    let mut nodes: Vec<DandelionNode> = arena.take_nodes();
-    nodes.extend(
-        (0..graph.node_count())
-            .map(|index| DandelionNode::new(params, line.successor(NodeId::new(index)))),
-    );
+    let mut nodes: Vec<SimDriver<DandelionNode>> = arena.take_nodes();
+    nodes.extend((0..graph.node_count()).map(|index| {
+        SimDriver::new(DandelionNode::new(
+            params,
+            line.successor(NodeId::new(index)),
+        ))
+    }));
     let mut sim = Simulator::new_in(arena, graph, nodes, config);
-    sim.trigger(origin, |node, ctx| node.start_broadcast(tx_id, ctx));
+    sim.trigger(origin, |driver, ctx| {
+        driver.drive(ctx, |node, view, out| {
+            node.start_broadcast(tx_id, view, out)
+        });
+    });
     sim.run();
     let (nodes, metrics) = sim.into_parts_in(arena);
     let fluff_node = nodes

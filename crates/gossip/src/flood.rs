@@ -9,9 +9,8 @@
 //! the deanonymisation attacks of Biryukov et al. exploit (the paper's
 //! Fig. 2 and experiment E2).
 
-use fnp_netsim::{
-    Context, Graph, Metrics, NodeId, Payload, ProtocolNode, SimConfig, Simulator, TrialArena,
-};
+use fnp_netsim::{Graph, Metrics, NodeId, Payload, SimConfig, Simulator, TrialArena};
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SimDriver};
 
 /// Wire size reported for a flooded transaction.
 const TX_BYTES: usize = 256;
@@ -36,11 +35,12 @@ impl Payload for FloodMessage {
     }
 }
 
-/// A node executing flood-and-prune.
+/// A node executing flood-and-prune, as a sans-IO [`ProtocolCore`].
 ///
-/// The per-event "have I relayed this already?" flag lives in the
-/// simulator's hot [`seen` lane](Context::seen) (struct-of-arrays storage),
-/// not in this struct — the struct only keeps the cold origin marker.
+/// The per-event "have I relayed this already?" flag lives in the driver's
+/// hot [`seen` lane](fnp_proto::HotLanes::seen) (struct-of-arrays storage
+/// under the simulator), not in this struct — the struct only keeps the
+/// cold origin marker.
 #[derive(Clone, Debug, Default)]
 pub struct FloodNode {
     origin: bool,
@@ -57,33 +57,42 @@ impl FloodNode {
         self.origin
     }
 
-    /// Starts a broadcast of transaction `tx_id` from this node. Call via
-    /// [`Simulator::trigger`] on the origin.
-    pub fn start_broadcast(&mut self, tx_id: u64, ctx: &mut Context<'_, FloodMessage>) {
-        if ctx.set_seen() {
+    /// Starts a broadcast of transaction `tx_id` from this node. Under the
+    /// simulator, call via [`Simulator::trigger`] +
+    /// [`SimDriver::drive`] on the origin.
+    pub fn start_broadcast(
+        &mut self,
+        tx_id: u64,
+        view: &mut impl NodeView,
+        out: &mut Mailbox<FloodMessage>,
+    ) {
+        if view.set_seen() {
             return;
         }
         self.origin = true;
-        ctx.mark_delivered();
-        ctx.send_to_neighbors_except(FloodMessage { tx_id }, &[]);
+        out.deliver();
+        out.broadcast(FloodMessage { tx_id }, &[]);
     }
 }
 
-impl ProtocolNode for FloodNode {
+impl ProtocolCore for FloodNode {
     type Message = FloodMessage;
 
-    fn on_message(
+    fn poll<V: NodeView>(
         &mut self,
-        from: NodeId,
-        message: FloodMessage,
-        ctx: &mut Context<'_, FloodMessage>,
+        input: Input<FloodMessage>,
+        view: &mut V,
+        out: &mut Mailbox<FloodMessage>,
     ) {
-        if ctx.set_seen() {
+        let Input::Message { from, message } = input else {
+            return;
+        };
+        if view.set_seen() {
             // Prune: we have already relayed this transaction.
             return;
         }
-        ctx.mark_delivered();
-        ctx.send_to_neighbors_except(message, &[from]);
+        out.deliver();
+        out.broadcast(message, &[from]);
     }
 }
 
@@ -103,10 +112,14 @@ pub fn run_flood_in(
     tx_id: u64,
     config: SimConfig,
 ) -> Metrics {
-    let mut nodes: Vec<FloodNode> = arena.take_nodes();
-    nodes.extend((0..graph.node_count()).map(|_| FloodNode::new()));
+    let mut nodes: Vec<SimDriver<FloodNode>> = arena.take_nodes();
+    nodes.extend((0..graph.node_count()).map(|_| SimDriver::new(FloodNode::new())));
     let mut sim = Simulator::new_in(arena, graph, nodes, config);
-    sim.trigger(origin, |node, ctx| node.start_broadcast(tx_id, ctx));
+    sim.trigger(origin, |driver, ctx| {
+        driver.drive(ctx, |node, view, out| {
+            node.start_broadcast(tx_id, view, out)
+        });
+    });
     sim.run();
     let (nodes, metrics) = sim.into_parts_in(arena);
     arena.store_nodes(nodes);
@@ -165,9 +178,11 @@ mod tests {
     #[test]
     fn origin_is_marked() {
         let graph = topology::line(3).unwrap();
-        let nodes = (0..3).map(|_| FloodNode::new()).collect();
+        let nodes = (0..3).map(|_| SimDriver::new(FloodNode::new())).collect();
         let mut sim = Simulator::new(graph, nodes, SimConfig::default());
-        sim.trigger(NodeId::new(1), |node, ctx| node.start_broadcast(9, ctx));
+        sim.trigger(NodeId::new(1), |driver, ctx| {
+            driver.drive(ctx, |node, view, out| node.start_broadcast(9, view, out));
+        });
         sim.run();
         assert!(sim.node(NodeId::new(1)).is_origin());
         assert!(!sim.node(NodeId::new(0)).is_origin());
@@ -200,11 +215,13 @@ mod tests {
     #[test]
     fn double_start_is_idempotent() {
         let graph = topology::line(2).unwrap();
-        let nodes = (0..2).map(|_| FloodNode::new()).collect();
+        let nodes = (0..2).map(|_| SimDriver::new(FloodNode::new())).collect();
         let mut sim = Simulator::new(graph, nodes, SimConfig::default());
-        sim.trigger(NodeId::new(0), |node, ctx| {
-            node.start_broadcast(1, ctx);
-            node.start_broadcast(1, ctx);
+        sim.trigger(NodeId::new(0), |driver, ctx| {
+            driver.drive(ctx, |node, view, out| {
+                node.start_broadcast(1, view, out);
+                node.start_broadcast(1, view, out);
+            });
         });
         let metrics = sim.run();
         // Node 0 sends once to node 1; node 1 has no other neighbour to

@@ -10,8 +10,9 @@
 //!   experiment E3): a line-graph stem phase followed by an ordinary fluff
 //!   broadcast, with per-epoch re-randomisation of the stem line.
 //!
-//! Both are implemented as [`fnp_netsim::ProtocolNode`] state machines plus
-//! one-call runners used by the experiment harness.
+//! Both are implemented as sans-IO [`fnp_proto::ProtocolCore`] state
+//! machines (driven in the simulator through [`fnp_proto::SimDriver`])
+//! plus one-call runners used by the experiment harness.
 //!
 //! # Example
 //!

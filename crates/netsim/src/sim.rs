@@ -179,10 +179,17 @@ impl<'a, M> Context<'a, M> {
     where
         M: Clone,
     {
-        self.actions.push(Action::Broadcast {
-            message,
-            excluded: excluded.to_vec(),
-        });
+        self.broadcast_except(message, excluded.to_vec());
+    }
+
+    /// Like [`Context::send_to_neighbors_except`], but takes ownership of
+    /// the exclusion list — the zero-copy entry point for adapters (such as
+    /// the sans-IO mailbox driver) that already hold an owned `Vec`.
+    pub fn broadcast_except(&mut self, message: M, excluded: Vec<NodeId>)
+    where
+        M: Clone,
+    {
+        self.actions.push(Action::Broadcast { message, excluded });
     }
 
     /// Schedules [`ProtocolNode::on_timer`] on this node after `delay`.

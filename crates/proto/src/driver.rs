@@ -1,0 +1,218 @@
+//! The simulator driver: [`SimDriver`] adapts a [`ProtocolCore`] to the
+//! discrete-event simulator's [`ProtocolNode`] interface.
+//!
+//! The adapter is deliberately thin so the sans-IO split costs nothing in
+//! behaviour: each simulator event is translated to one [`Input`], the core
+//! is polled with the live [`Context`] as its [`NodeView`], and the mailbox
+//! is drained back into the context *in emission order*. Because the
+//! context records actions and the simulator applies them after the handler
+//! returns — exactly as the pre-sans-IO protocol implementations did — the
+//! event sequence, RNG draw order and metrics of a run are byte-identical
+//! to the welded-to-the-simulator design this adapter replaced.
+
+use crate::core::ProtocolCore;
+use crate::mailbox::{Effect, Input, Mailbox};
+use crate::trace::{TraceEvent, TraceHandle, TracedInput};
+use crate::view::{HotLanes, NodeView};
+use fnp_netsim::{Context, NodeId, Payload, ProtocolNode, SimTime};
+use rand::rngs::StdRng;
+
+impl<M> HotLanes for Context<'_, M> {
+    fn seen(&self) -> bool {
+        Context::seen(self)
+    }
+
+    fn set_seen(&mut self) -> bool {
+        Context::set_seen(self)
+    }
+
+    fn phase(&self) -> u8 {
+        Context::phase(self)
+    }
+
+    fn set_phase(&mut self, phase: u8) {
+        Context::set_phase(self, phase);
+    }
+
+    fn counter_lane(&self) -> u32 {
+        Context::counter_lane(self)
+    }
+
+    fn set_counter_lane(&mut self, value: u32) {
+        Context::set_counter_lane(self, value);
+    }
+}
+
+impl<M> NodeView for Context<'_, M> {
+    fn node_id(&self) -> NodeId {
+        Context::node_id(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Context::now(self)
+    }
+
+    fn neighbors(&self) -> &[NodeId] {
+        Context::neighbors(self)
+    }
+
+    fn node_count(&self) -> usize {
+        Context::node_count(self)
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        Context::rng(self)
+    }
+}
+
+/// Adapter running a sans-IO [`ProtocolCore`] under the simulator.
+///
+/// Implements [`ProtocolNode`] by translating simulator callbacks into
+/// [`Input`]s and draining the core's [`Mailbox`] back into the [`Context`].
+/// Dereferences to the wrapped core so read accessors
+/// (`driver.is_origin()`, …) keep working at existing call sites.
+#[derive(Clone, Debug, Default)]
+pub struct SimDriver<C: ProtocolCore> {
+    core: C,
+    mailbox: Mailbox<C::Message>,
+    trace: Option<TraceHandle<C::Message>>,
+}
+
+impl<C: ProtocolCore> SimDriver<C> {
+    /// Wraps `core` for use as a simulator node.
+    pub fn new(core: C) -> Self {
+        Self {
+            core,
+            mailbox: Mailbox::new(),
+            trace: None,
+        }
+    }
+
+    /// Like [`SimDriver::new`], additionally recording every poll (input,
+    /// RNG state before, effects emitted) into `trace` for later replay
+    /// through the bare core via [`replay_trace`](crate::replay_trace).
+    pub fn traced(core: C, trace: TraceHandle<C::Message>) -> Self {
+        Self {
+            core,
+            mailbox: Mailbox::new(),
+            trace: Some(trace),
+        }
+    }
+
+    /// The wrapped core.
+    pub fn core(&self) -> &C {
+        &self.core
+    }
+
+    /// Mutable access to the wrapped core.
+    pub fn core_mut(&mut self) -> &mut C {
+        &mut self.core
+    }
+
+    /// Unwraps the adapter, returning the core.
+    pub fn into_core(self) -> C {
+        self.core
+    }
+
+    /// Runs an out-of-band protocol entry point (such as "start a
+    /// broadcast") against the core and applies the emitted effects.
+    ///
+    /// This is how experiments trigger an origin under
+    /// [`Simulator::trigger`](fnp_netsim::Simulator::trigger):
+    ///
+    /// ```ignore
+    /// sim.trigger(origin, |driver, ctx| {
+    ///     driver.drive(ctx, |core, view, out| core.start_broadcast(tx_id, view, out));
+    /// });
+    /// ```
+    pub fn drive<R>(
+        &mut self,
+        ctx: &mut Context<'_, C::Message>,
+        f: impl FnOnce(&mut C, &mut Context<'_, C::Message>, &mut Mailbox<C::Message>) -> R,
+    ) -> R
+    where
+        C::Message: Clone,
+    {
+        debug_assert!(self.mailbox.is_empty());
+        let rng_before = self.trace.as_ref().map(|_| ctx.rng().clone());
+        let result = f(&mut self.core, ctx, &mut self.mailbox);
+        if let (Some(trace), Some(rng_before)) = (&self.trace, rng_before) {
+            trace.record(TraceEvent {
+                node: NodeView::node_id(ctx),
+                now: NodeView::now(ctx),
+                input: TracedInput::External,
+                rng_before,
+                effects: self.mailbox.effects().to_vec(),
+            });
+        }
+        flush(&mut self.mailbox, ctx);
+        result
+    }
+
+    fn dispatch(&mut self, input: Input<C::Message>, ctx: &mut Context<'_, C::Message>)
+    where
+        C::Message: Clone,
+    {
+        debug_assert!(self.mailbox.is_empty());
+        let recorded = self
+            .trace
+            .as_ref()
+            .map(|_| (input.clone(), ctx.rng().clone()));
+        self.core.poll(input, ctx, &mut self.mailbox);
+        if let (Some(trace), Some((input, rng_before))) = (&self.trace, recorded) {
+            trace.record(TraceEvent {
+                node: NodeView::node_id(ctx),
+                now: NodeView::now(ctx),
+                input: TracedInput::Input(input),
+                rng_before,
+                effects: self.mailbox.effects().to_vec(),
+            });
+        }
+        flush(&mut self.mailbox, ctx);
+    }
+}
+
+impl<C: ProtocolCore> std::ops::Deref for SimDriver<C> {
+    type Target = C;
+
+    fn deref(&self) -> &C {
+        &self.core
+    }
+}
+
+impl<C: ProtocolCore> ProtocolNode for SimDriver<C>
+where
+    C::Message: Clone,
+{
+    type Message = C::Message;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.dispatch(Input::Init, ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
+        self.dispatch(Input::Message { from, message }, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Context<'_, Self::Message>) {
+        self.dispatch(Input::TimerFired { tag }, ctx);
+    }
+}
+
+/// Applies drained effects to the simulator context, in emission order.
+fn flush<M: Payload>(mailbox: &mut Mailbox<M>, ctx: &mut Context<'_, M>) {
+    for effect in mailbox.drain() {
+        match effect {
+            Effect::Send { to, message } => ctx.send(to, message),
+            Effect::Broadcast { message, excluded } => ctx.broadcast_except(message, excluded),
+            Effect::SetTimer { delay, tag } => ctx.set_timer(delay, tag),
+            Effect::Deliver => ctx.mark_delivered(),
+            Effect::Counter { name, amount } => ctx.record_many(name, amount),
+        }
+    }
+}
