@@ -11,6 +11,12 @@
 //! migrated into entry 0 on first contact. See `docs/BENCHMARKING.md` for
 //! the recording procedure.
 //!
+//! Every entry also records a **steady-state leg**: the fig6
+//! heavy-traffic grid (Poisson arrivals, overlapping broadcasts, mempool
+//! replay) at reduced size, run at 1 and `--threads` workers with the rows
+//! asserted byte-identical — the determinism contract extended to
+//! multi-transaction sessions.
+//!
 //! Besides the fig1 workload, every entry records a **large-n leg**: one
 //! flood trial over a `--large-n`-node overlay (default one million),
 //! untraced, with a per-phase breakdown — overlay build, diameter
@@ -251,6 +257,91 @@ fn large_n_leg(large_n: usize, base_seed: u64, intra_threads: usize) -> Json {
     ])
 }
 
+/// Overlay size of the steady-state leg.
+const STEADY_N: usize = 120;
+/// Miner count of the steady-state leg.
+const STEADY_MINERS: usize = 12;
+/// Runs per cell of the steady-state leg.
+const STEADY_RUNS: usize = 2;
+/// Poisson arrival rates (tx/s) of the steady-state leg.
+const STEADY_RATES: [f64; 2] = [2.0, 6.0];
+
+/// Runs the steady-state leg: the fig6 heavy-traffic grid (Poisson
+/// arrivals, overlapping broadcasts, mempool replay) at reduced size, once
+/// sequentially and once on `parallel_threads` workers. Asserts the rows
+/// are byte-identical across thread counts — the overlapping-broadcast
+/// sessions lease per-transaction lanes from the worker arenas, which is
+/// exactly the machinery this leg pins — and returns the JSON section for
+/// the trajectory entry.
+fn steady_leg(base_seed: u64, parallel_threads: usize) -> Json {
+    let horizon = 3 * fnp_netsim::SECOND;
+    println!(
+        "steady leg — fig6 heavy-traffic grid ({STEADY_N} nodes, rates {STEADY_RATES:?} tx/s, \
+         {STEADY_RUNS} runs per cell, 1 vs {parallel_threads} threads)"
+    );
+
+    let sequential_started = Instant::now();
+    let sequential_rows = fnp_bench::steady_state_with(
+        &TrialRunner::sequential(),
+        STEADY_N,
+        STEADY_MINERS,
+        STEADY_RUNS,
+        &STEADY_RATES,
+        horizon,
+        base_seed,
+    );
+    let sequential_ms = sequential_started.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_started = Instant::now();
+    let parallel_rows = fnp_bench::steady_state_with(
+        &TrialRunner::new(parallel_threads),
+        STEADY_N,
+        STEADY_MINERS,
+        STEADY_RUNS,
+        &STEADY_RATES,
+        horizon,
+        base_seed,
+    );
+    let parallel_ms = parallel_started.elapsed().as_secs_f64() * 1e3;
+
+    let sequential_json = Json::rows(&sequential_rows).to_pretty_string();
+    let parallel_json = Json::rows(&parallel_rows).to_pretty_string();
+    assert_eq!(
+        sequential_json, parallel_json,
+        "steady-state parallel rows diverged from the sequential run"
+    );
+
+    let speedup = sequential_ms / parallel_ms;
+    println!("  sequential: {sequential_ms:>10.1} ms");
+    println!("  {parallel_threads} threads : {parallel_ms:>10.1} ms  (speedup {speedup:.2}x)");
+    println!("  rows: byte-identical across thread counts");
+
+    Json::obj([
+        (
+            "params",
+            Json::obj([
+                ("n", Json::from(STEADY_N)),
+                ("miner_count", Json::from(STEADY_MINERS)),
+                ("runs", Json::from(STEADY_RUNS)),
+                (
+                    "rates",
+                    Json::Arr(STEADY_RATES.iter().map(|&r| Json::from(r)).collect()),
+                ),
+                ("horizon_us", Json::from(horizon)),
+                ("base_seed", Json::from(base_seed)),
+            ]),
+        ),
+        ("sequential_wall_clock_ms", Json::from(sequential_ms)),
+        ("parallel_wall_clock_ms", Json::from(parallel_ms)),
+        ("speedup", Json::from(speedup)),
+        ("rows_identical", Json::from(true)),
+        (
+            "rows_fnv1a64",
+            Json::from(format!("{:016x}", fnv1a64(&sequential_json))),
+        ),
+    ])
+}
+
 /// Runs the DC-net crypto leg: keyed rounds through the fused pooled path
 /// (multi-block keystream XORed straight into pooled slot buffers) versus
 /// the unfused pre-fusion reference lane (fresh single-block pad and slot
@@ -365,6 +456,7 @@ fn main() {
 
     let large_n_section = large_n_leg(large_n, base_seed, parallel_threads);
     let dcnet_section = dcnet_leg(base_seed);
+    let steady_section = steady_leg(base_seed, parallel_threads);
 
     let entry = Json::obj([
         ("git_rev", Json::from(git_rev())),
@@ -419,6 +511,9 @@ fn main() {
         // Fused vs unfused keyed DC-net rounds — the pad-pipeline speedup
         // this trajectory point was recorded under (see docs/BENCHMARKING.md).
         ("dcnet", dcnet_section),
+        // The fig6 heavy-traffic grid at reduced size — sustained Poisson
+        // arrivals with overlapping broadcasts (see docs/BENCHMARKING.md).
+        ("steady", steady_section),
     ]);
 
     let mut trajectory = load_trajectory(&path);

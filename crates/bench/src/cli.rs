@@ -15,6 +15,9 @@
 //! * `--large-n <nodes>` — override the overlay size of a binary's
 //!   dedicated large-scale leg (currently only `bench_baseline`'s
 //!   single-flood-trial timing), independently of `--n`.
+//! * `--rates <r1,r2,…>` — override the arrival rates (transactions per
+//!   second) of a steady-state experiment; each rate must be a finite,
+//!   strictly positive number.
 //!
 //! Unknown flags abort with a usage message: a typo silently ignored is an
 //! experiment silently misconfigured.
@@ -37,6 +40,9 @@ pub struct BinArgs {
     pub runs: Option<usize>,
     /// Overlay-size override for a binary's large-scale leg.
     pub large_n: Option<usize>,
+    /// Arrival-rate override (transactions per second) for steady-state
+    /// experiments.
+    pub rates: Option<Vec<f64>>,
 }
 
 /// Why [`BinArgs::try_parse_from`] stopped parsing.
@@ -83,6 +89,7 @@ impl BinArgs {
                 "--large-n" => {
                     parsed.large_n = Some(parse_positive(&value("--large-n")?, "--large-n")?);
                 }
+                "--rates" => parsed.rates = Some(parse_rates(&value("--rates")?)?),
                 "--help" | "-h" => return Err(ParseError::HelpRequested),
                 other => {
                     return Err(ParseError::Invalid(format!("unknown argument {other:?}")));
@@ -116,6 +123,12 @@ impl BinArgs {
     pub fn large_n_or(&self, default: usize) -> usize {
         self.large_n.unwrap_or(default)
     }
+
+    /// The arrival rates, falling back to the experiment's defaults.
+    #[must_use]
+    pub fn rates_or(&self, default: &[f64]) -> Vec<f64> {
+        self.rates.clone().unwrap_or_else(|| default.to_vec())
+    }
 }
 
 fn parse_number(text: &str, flag: &str) -> Result<usize, ParseError> {
@@ -137,16 +150,41 @@ fn parse_positive(text: &str, flag: &str) -> Result<usize, ParseError> {
     }
 }
 
+/// Parses a comma-separated arrival-rate list, rejecting anything
+/// [`fnp_netsim::validate_rate`] rejects (NaN, infinities, zero, negative)
+/// — the same convention as `--n 0`: a degenerate rate silently accepted
+/// is an experiment silently misconfigured.
+fn parse_rates(text: &str) -> Result<Vec<f64>, ParseError> {
+    let mut rates = Vec::new();
+    for part in text.split(',') {
+        let rate: f64 = part
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::Invalid(format!("--rates expects numbers, got {part:?}")))?;
+        fnp_netsim::validate_rate(rate)
+            .map_err(|error| ParseError::Invalid(format!("--rates: {error}")))?;
+        rates.push(rate);
+    }
+    if rates.is_empty() {
+        return Err(ParseError::Invalid(
+            "--rates expects at least one rate".to_string(),
+        ));
+    }
+    Ok(rates)
+}
+
 fn usage() {
     eprintln!(
         "usage: <experiment> [--json <path>] [--threads <n>] [--n <nodes>] [--runs <r>] \
-         [--large-n <nodes>]\n\
+         [--large-n <nodes>] [--rates <r1,r2,…>]\n\
          \n\
          --json <path>     also write rows + wall-clock timing as JSON\n\
          --threads <n>     trial worker threads (0 = all cores)\n\
          --n <nodes>       overlay size override, must be positive (where applicable)\n\
          --runs <r>        repetitions override, must be positive (where applicable)\n\
-         --large-n <nodes> large-scale-leg overlay size, must be positive (where applicable)"
+         --large-n <nodes> large-scale-leg overlay size, must be positive (where applicable)\n\
+         --rates <list>    steady-state arrival rates in tx/s, comma-separated, each finite \
+         and positive (where applicable)"
     );
 }
 
@@ -258,6 +296,27 @@ mod tests {
         assert!(rejection(&["--large-n", "0"]).contains("--large-n expects a positive integer"));
         // `--threads 0` stays legal: it means "all cores".
         assert_eq!(parse(&["--threads", "0"]).threads, 0);
+    }
+
+    #[test]
+    fn rates_parse_as_a_comma_separated_list() {
+        let args = parse(&["--rates", "2,8.5, 100"]);
+        assert_eq!(args.rates, Some(vec![2.0, 8.5, 100.0]));
+        assert_eq!(args.rates_or(&[1.0]), vec![2.0, 8.5, 100.0]);
+        assert_eq!(parse(&[]).rates_or(&[2.0, 8.0]), vec![2.0, 8.0]);
+    }
+
+    #[test]
+    fn degenerate_rates_are_rejected() {
+        // Matching the `--n 0` convention: zero, negative and non-finite
+        // rates abort parsing instead of producing an empty experiment.
+        assert!(rejection(&["--rates", "0"]).contains("strictly positive"));
+        assert!(rejection(&["--rates", "2,-1"]).contains("strictly positive"));
+        assert!(rejection(&["--rates", "NaN"]).contains("not a finite number"));
+        assert!(rejection(&["--rates", "inf"]).contains("not a finite number"));
+        assert!(rejection(&["--rates", "fast"]).contains("expects numbers"));
+        assert!(rejection(&["--rates", ""]).contains("expects numbers"));
+        assert!(rejection(&["--rates"]).contains("--rates requires a value"));
     }
 
     #[test]

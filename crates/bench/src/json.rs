@@ -742,6 +742,31 @@ impl ToJson for crate::FairnessRow {
     }
 }
 
+impl ToJson for crate::SteadyStateRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("protocol", Json::from(self.protocol)),
+            ("rate_per_second", self.rate_per_second.into()),
+            ("injected", self.injected.into()),
+            ("delivered_fraction", self.delivered_fraction.into()),
+            ("throughput_tx_per_s", self.throughput_tx_per_s.into()),
+            ("p50_delivery_ms", self.p50_delivery_ms.into()),
+            ("p95_delivery_ms", self.p95_delivery_ms.into()),
+            ("p99_delivery_ms", self.p99_delivery_ms.into()),
+            ("mean_messages_per_tx", self.mean_messages_per_tx.into()),
+            ("peak_concurrent", self.peak_concurrent.into()),
+            ("mempool_peak_len", self.mempool_peak_len.into()),
+            ("mempool_mean_len", self.mempool_mean_len.into()),
+            ("included_fraction", self.included_fraction.into()),
+            (
+                "mean_inclusion_delay_ms",
+                self.mean_inclusion_delay_ms.into(),
+            ),
+            ("first_spy_detection", self.first_spy_detection.into()),
+        ])
+    }
+}
+
 impl ToJson for crate::ElectionAblationRow {
     fn to_json(&self) -> Json {
         Json::obj([

@@ -158,6 +158,17 @@ fn latency_rows_match_fresh_arena_rows() {
 }
 
 #[test]
+fn steady_state_rows_match_fresh_arena_rows() {
+    // Steady-state trials lease per-transaction hot lanes from the arena's
+    // pools and run four different node types through the type-erased node
+    // storage; a stale lane or session left by a previous trial would show
+    // up as a row difference against the fresh-arena run.
+    assert_reuse_matches_fresh("steady_state", |runner| {
+        fnp_bench::steady_state_with(runner, 50, 10, 2, &[2.0], 2 * fnp_netsim::SECOND, 22)
+    });
+}
+
+#[test]
 fn dandelion_rows_match_fresh_arena_rows() {
     assert_reuse_matches_fresh("dandelion_privacy", |runner| {
         fnp_bench::dandelion_privacy_with(runner, 70, &[0.2], &[0.5, 0.9], 3, 13)

@@ -87,6 +87,16 @@ fn fee_fairness_rows_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn steady_state_rows_are_identical_across_thread_counts() {
+    // The steady-state grid multiplexes K overlapping broadcasts per trial
+    // (shared session bookkeeping, per-transaction lanes, a mempool
+    // replay) — the row must still be a pure function of the cell.
+    assert_matches_sequential("steady_state", |runner| {
+        fnp_bench::steady_state_with(runner, 50, 10, 2, &[2.0], 2 * fnp_netsim::SECOND, 22)
+    });
+}
+
+#[test]
 fn group_overlap_and_dissent_are_identical_across_thread_counts() {
     assert_matches_sequential("group_overlap", |runner| {
         fnp_bench::group_overlap_with(runner, &[3, 5, 8], &[1, 2])

@@ -28,6 +28,9 @@
 //!   delivery times of a transaction (a [`fnp_netsim::Metrics`] produced by
 //!   any of the protocols in this workspace), race the miners and report who
 //!   earned the fee, how unfair the outcome was and how long inclusion took.
+//! * [`steady`] — the sustained-load counterpart of [`scenario`]: replay a
+//!   whole stream of miner deliveries against an exponential block process
+//!   and report mempool occupancy, eviction and inclusion delays.
 //!
 //! The experiment binaries in `fnp-bench` (experiment E12/tab7) combine this
 //! crate with `fnp-core::run_protocol` to quantify the latency-fairness cost
@@ -57,6 +60,7 @@ pub mod fairness;
 pub mod mempool;
 pub mod miner;
 pub mod scenario;
+pub mod steady;
 pub mod transaction;
 
 pub use block::{Block, BlockHeader, BLOCK_SUBSIDY};
@@ -65,4 +69,5 @@ pub use fairness::{gini_coefficient, jain_fairness_index, FairnessReport};
 pub use mempool::{Mempool, MempoolError};
 pub use miner::{Miner, MinerSet, MinerSetError};
 pub use scenario::{race_transaction, InclusionRace, RaceConfig, RaceOutcome};
+pub use steady::{replay_steady_mempool, MinerDelivery, SteadyMempoolConfig, SteadyMempoolReport};
 pub use transaction::{Transaction, TxId};

@@ -1,0 +1,244 @@
+//! Steady-state mempool replay: sustained traffic draining into blocks.
+//!
+//! The single-transaction scenario ([`crate::scenario`]) races miners for
+//! *one* fee. Under steady-state load the interesting quantity is the
+//! pipeline: transactions keep arriving at the miners' mempools while an
+//! exponential block process keeps draining them, and occupancy, eviction
+//! and inclusion delay emerge from the interaction of the two rates.
+//!
+//! The replay consumes the per-transaction *first miner delivery* times a
+//! steady-state broadcast session produced (see `fnp_proto::steady`) and
+//! models one representative mempool shared by the mining set — the paper's
+//! §II argument is precisely that dissemination should make every miner's
+//! pool look the same, and the broadcast side of the experiment measures
+//! how long that takes; the replay then charges each transaction the
+//! block-process wait on top of its dissemination delay.
+
+use crate::mempool::{Mempool, MempoolError};
+use crate::miner::MinerSet;
+use crate::transaction::{Transaction, TxId};
+use fnp_netsim::SimTime;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// One transaction reaching the mining set.
+#[derive(Clone, Debug)]
+pub struct MinerDelivery {
+    /// When the first miner learned the transaction.
+    pub at: SimTime,
+    /// The transaction itself.
+    pub tx: Transaction,
+}
+
+/// Configuration of a steady-state mempool replay.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyMempoolConfig {
+    /// Byte capacity of the mempool.
+    pub capacity_bytes: usize,
+    /// Byte budget per block.
+    pub block_max_bytes: usize,
+    /// Mean of the exponential block interval.
+    pub mean_block_interval: SimTime,
+    /// Hard bound on blocks mined after the last delivery while draining
+    /// the pool (prevents an unbounded tail when the pool cannot drain).
+    pub max_drain_blocks: usize,
+}
+
+/// Aggregates of one steady-state mempool replay.
+#[derive(Clone, Debug, Default)]
+pub struct SteadyMempoolReport {
+    /// Transactions that reached the pool (accepted inserts).
+    pub admitted: usize,
+    /// Transactions included in blocks.
+    pub included: usize,
+    /// Transactions evicted by the fee policy before inclusion.
+    pub evicted: usize,
+    /// Blocks mined during the replay.
+    pub blocks: usize,
+    /// Per-included-transaction delay from first miner delivery to block
+    /// inclusion, in microseconds, in inclusion order.
+    pub inclusion_delays_us: Vec<u64>,
+    /// High-water mark of pooled transactions.
+    pub peak_len: usize,
+    /// High-water mark of pooled bytes.
+    pub peak_used_bytes: usize,
+    /// Mean pooled-transaction count sampled after every delivery.
+    pub mean_len: f64,
+}
+
+/// Replays `deliveries` (any order; sorted internally by time, ties broken
+/// by transaction id) against an exponential block process drawn from
+/// `rng`, and reports occupancy, eviction and inclusion-delay aggregates.
+///
+/// The block schedule is sampled through [`MinerSet::sample_block_interval`]
+/// so the replay shares the proof-of-work model of the single-transaction
+/// scenario. After the last delivery, mining continues until the pool
+/// drains or `max_drain_blocks` is exhausted.
+pub fn replay_steady_mempool(
+    miners: &MinerSet,
+    deliveries: &[MinerDelivery],
+    config: SteadyMempoolConfig,
+    rng: &mut StdRng,
+) -> SteadyMempoolReport {
+    let mut ordered: Vec<&MinerDelivery> = deliveries.iter().collect();
+    ordered.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.tx.id().cmp(&b.tx.id())));
+
+    let mut pool = Mempool::new(config.capacity_bytes);
+    let mut seen_at: BTreeMap<TxId, SimTime> = BTreeMap::new();
+    let mut report = SteadyMempoolReport::default();
+    let mut len_sum = 0usize;
+    let mut len_samples = 0usize;
+
+    let mut next_block_at = miners.sample_block_interval(config.mean_block_interval, rng);
+    let mine = |pool: &mut Mempool,
+                seen_at: &mut BTreeMap<TxId, SimTime>,
+                at: SimTime,
+                report: &mut SteadyMempoolReport| {
+        report.blocks += 1;
+        for tx in pool.select_for_block(config.block_max_bytes) {
+            pool.remove(&tx.id());
+            let seen = seen_at
+                .remove(&tx.id())
+                .expect("every pooled transaction was recorded on delivery");
+            report.included += 1;
+            report.inclusion_delays_us.push(at.saturating_sub(seen));
+        }
+    };
+
+    for delivery in ordered {
+        while next_block_at <= delivery.at {
+            mine(&mut pool, &mut seen_at, next_block_at, &mut report);
+            next_block_at = next_block_at
+                .saturating_add(miners.sample_block_interval(config.mean_block_interval, rng));
+        }
+        match pool.insert(delivery.tx.clone()) {
+            Ok(evicted) => {
+                report.admitted += 1;
+                seen_at.insert(delivery.tx.id(), delivery.at);
+                for victim in evicted {
+                    report.evicted += 1;
+                    seen_at.remove(&victim.id());
+                }
+            }
+            // Duplicate ids (same originator/size/fee/timestamp) and
+            // oversized transactions are dropped, exactly as a real pool
+            // would drop them.
+            Err(MempoolError::Duplicate { .. } | MempoolError::TooLarge { .. }) => {}
+        }
+        report.peak_len = report.peak_len.max(pool.len());
+        report.peak_used_bytes = report.peak_used_bytes.max(pool.used_bytes());
+        len_sum += pool.len();
+        len_samples += 1;
+    }
+
+    let mut drain_blocks = 0;
+    while !pool.is_empty() && drain_blocks < config.max_drain_blocks {
+        mine(&mut pool, &mut seen_at, next_block_at, &mut report);
+        next_block_at = next_block_at
+            .saturating_add(miners.sample_block_interval(config.mean_block_interval, rng));
+        drain_blocks += 1;
+    }
+
+    if len_samples > 0 {
+        report.mean_len = len_sum as f64 / len_samples as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fnp_netsim::{NodeId, SECOND};
+    use rand::SeedableRng;
+
+    fn delivery(at: SimTime, origin: usize, size: usize, fee: u64) -> MinerDelivery {
+        MinerDelivery {
+            at,
+            tx: Transaction::new(NodeId::new(origin), size, fee, at),
+        }
+    }
+
+    fn config() -> SteadyMempoolConfig {
+        SteadyMempoolConfig {
+            capacity_bytes: 100_000,
+            block_max_bytes: 2_000,
+            mean_block_interval: 5 * SECOND,
+            max_drain_blocks: 1_000,
+        }
+    }
+
+    #[test]
+    fn every_delivered_transaction_is_eventually_included() {
+        let miners = MinerSet::uniform(3).unwrap();
+        let deliveries: Vec<MinerDelivery> = (0..40)
+            .map(|i| delivery(1 + i * 300_000, i as usize, 250, 100 + i))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = replay_steady_mempool(&miners, &deliveries, config(), &mut rng);
+        assert_eq!(report.admitted, 40);
+        assert_eq!(report.included, 40);
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.inclusion_delays_us.len(), 40);
+        assert!(report.blocks > 0);
+        assert!(report.peak_len >= 1);
+        assert!(report.mean_len > 0.0);
+        // Inclusion happens after delivery: delays are positive.
+        assert!(report.inclusion_delays_us.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn a_tight_pool_evicts_low_fee_transactions() {
+        let miners = MinerSet::uniform(2).unwrap();
+        // 8 transactions of 250 bytes into a 1 000-byte pool, all delivered
+        // before the first plausible block: at least half must be evicted.
+        let deliveries: Vec<MinerDelivery> = (0..8)
+            .map(|i| delivery(1 + i, i as usize, 250, 10 * (i + 1)))
+            .collect();
+        let tight = SteadyMempoolConfig {
+            capacity_bytes: 1_000,
+            ..config()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let report = replay_steady_mempool(&miners, &deliveries, tight, &mut rng);
+        assert_eq!(report.admitted, 8);
+        assert_eq!(report.evicted + report.included, 8);
+        assert!(report.evicted >= 4, "evicted only {}", report.evicted);
+        assert!(report.peak_used_bytes <= 1_000);
+        // The fee policy evicts cheapest-first, so the highest-fee
+        // transaction survives to inclusion.
+        assert!(report.included >= 1);
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed_and_order_insensitive() {
+        let miners = MinerSet::uniform(4).unwrap();
+        let mut deliveries: Vec<MinerDelivery> = (0..20)
+            .map(|i| delivery(1 + (i * 37) % 11_000_000, i as usize, 200 + i as usize, 50))
+            .collect();
+        let run = |deliveries: &[MinerDelivery]| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let report = replay_steady_mempool(&miners, deliveries, config(), &mut rng);
+            format!("{report:?}")
+        };
+        let forward = run(&deliveries);
+        deliveries.reverse();
+        let reversed = run(&deliveries);
+        assert_eq!(forward, reversed, "input order must not matter");
+    }
+
+    #[test]
+    fn drain_block_bound_terminates_an_underpowered_chain() {
+        let miners = MinerSet::uniform(1).unwrap();
+        // Blocks of 100 bytes can never include a 250-byte transaction.
+        let cramped = SteadyMempoolConfig {
+            block_max_bytes: 100,
+            max_drain_blocks: 7,
+            ..config()
+        };
+        let deliveries = [delivery(1, 0, 250, 10)];
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = replay_steady_mempool(&miners, &deliveries, cramped, &mut rng);
+        assert_eq!(report.included, 0);
+        assert!(report.blocks <= 8);
+    }
+}

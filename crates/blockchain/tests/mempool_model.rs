@@ -1,0 +1,225 @@
+//! Model-based property tests for the mempool.
+//!
+//! The [`Mempool`] keeps three invariants the steady-state experiments
+//! lean on: byte accounting never drifts, eviction follows the fee policy
+//! (cheapest-by-fee-rate first, ties by id), and block selection is a
+//! deterministic greedy knapsack that never exceeds its budget. Each
+//! property drives the real pool and a naive `Vec`-based reference model
+//! through the same random operation sequence and requires them to agree
+//! on every observable after every step.
+
+use fnp_blockchain::{Mempool, MempoolError, Transaction, TxId};
+use fnp_netsim::NodeId;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// The reference model: a plain vector of transactions plus the same
+/// capacity rule, implemented as directly as possible.
+struct ModelPool {
+    txs: Vec<Transaction>,
+    capacity_bytes: usize,
+}
+
+impl ModelPool {
+    fn new(capacity_bytes: usize) -> Self {
+        Self {
+            txs: Vec::new(),
+            capacity_bytes,
+        }
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.txs.iter().map(Transaction::size_bytes).sum()
+    }
+
+    fn contains(&self, id: &TxId) -> bool {
+        self.txs.iter().any(|tx| tx.id() == *id)
+    }
+
+    /// Fee-policy order: lowest fee rate first, ties by ascending id.
+    fn cheapest_index(&self) -> Option<usize> {
+        (0..self.txs.len()).min_by(|&a, &b| {
+            let (a, b) = (&self.txs[a], &self.txs[b]);
+            a.fee_rate()
+                .partial_cmp(&b.fee_rate())
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
+        })
+    }
+
+    fn insert(&mut self, tx: Transaction) -> Result<Vec<Transaction>, MempoolError> {
+        if self.contains(&tx.id()) {
+            return Err(MempoolError::Duplicate { id: tx.id() });
+        }
+        if tx.size_bytes() > self.capacity_bytes {
+            return Err(MempoolError::TooLarge {
+                size: tx.size_bytes(),
+                capacity: self.capacity_bytes,
+            });
+        }
+        let mut evicted = Vec::new();
+        while self.used_bytes() + tx.size_bytes() > self.capacity_bytes {
+            let victim = self
+                .cheapest_index()
+                .expect("pool over budget implies it is non-empty");
+            evicted.push(self.txs.remove(victim));
+        }
+        self.txs.push(tx);
+        Ok(evicted)
+    }
+
+    fn remove(&mut self, id: &TxId) -> Option<Transaction> {
+        let index = self.txs.iter().position(|tx| tx.id() == *id)?;
+        Some(self.txs.remove(index))
+    }
+
+    /// Greedy block selection: highest fee rate first, ties by ascending
+    /// id, skipping anything that would overflow the budget.
+    fn select_for_block(&self, max_bytes: usize) -> Vec<Transaction> {
+        let mut candidates = self.txs.clone();
+        candidates.sort_by(|a, b| {
+            b.fee_rate()
+                .partial_cmp(&a.fee_rate())
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        let mut used = 0;
+        let mut selected = Vec::new();
+        for tx in candidates {
+            if used + tx.size_bytes() <= max_bytes {
+                used += tx.size_bytes();
+                selected.push(tx);
+            }
+        }
+        selected
+    }
+}
+
+/// One scripted operation against both pools, decoded from a generated
+/// tuple `(selector, origin_or_index, size_or_budget, fee)`.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert {
+        origin: usize,
+        size: usize,
+        fee: u64,
+    },
+    /// Remove the transaction inserted by the `index`-th insert (mod the
+    /// number of inserts so far), exercising both hit and miss paths.
+    RemoveEarlier {
+        index: usize,
+    },
+    Select {
+        max_bytes: usize,
+    },
+}
+
+fn decode_op((selector, origin, size, fee): (usize, usize, usize, u64)) -> Op {
+    match selector {
+        0..=5 => Op::Insert { origin, size, fee },
+        6 | 7 => Op::RemoveEarlier { index: origin },
+        _ => Op::Select {
+            max_bytes: 50 + size * 4,
+        },
+    }
+}
+
+fn ids(txs: &[Transaction]) -> Vec<TxId> {
+    txs.iter().map(Transaction::id).collect()
+}
+
+fn sorted_ids(txs: &mut Vec<TxId>) -> &Vec<TxId> {
+    txs.sort();
+    txs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive both pools through the same operation sequence; every
+    /// observable must agree after every operation.
+    #[test]
+    fn mempool_agrees_with_the_reference_model(
+        capacity in 500usize..4_000,
+        raw_ops in proptest::collection::vec(
+            (0usize..10, 0usize..64, 1usize..600, 0u64..2_000),
+            1..60,
+        ),
+    ) {
+        let mut pool = Mempool::new(capacity);
+        let mut model = ModelPool::new(capacity);
+        let mut inserted: Vec<Transaction> = Vec::new();
+
+        for (step, raw) in raw_ops.into_iter().enumerate() {
+            match decode_op(raw) {
+                Op::Insert { origin, size, fee } => {
+                    let tx = Transaction::new(NodeId::new(origin), size, fee, step as u64);
+                    inserted.push(tx.clone());
+                    let real = pool.insert(tx.clone());
+                    let reference = model.insert(tx);
+                    match (&real, &reference) {
+                        (Ok(real_evicted), Ok(model_evicted)) => {
+                            // Eviction order matches the fee policy exactly.
+                            prop_assert_eq!(ids(real_evicted), ids(model_evicted));
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                        _ => prop_assert!(false,
+                            "insert outcome diverged at step {}: {:?} vs {:?}",
+                            step, real, reference),
+                    }
+                }
+                Op::RemoveEarlier { index } => {
+                    if inserted.is_empty() {
+                        continue;
+                    }
+                    let id = inserted[index % inserted.len()].id();
+                    let real = pool.remove(&id);
+                    let reference = model.remove(&id);
+                    prop_assert_eq!(real.map(|tx| tx.id()), reference.map(|tx| tx.id()));
+                }
+                Op::Select { max_bytes } => {
+                    let real = pool.select_for_block(max_bytes);
+                    let reference = model.select_for_block(max_bytes);
+                    prop_assert_eq!(ids(&real), ids(&reference));
+                    // Never exceeds the budget, and repeating the call is
+                    // deterministic.
+                    let total: usize = real.iter().map(Transaction::size_bytes).sum();
+                    prop_assert!(total <= max_bytes);
+                    prop_assert_eq!(ids(&real), ids(&pool.select_for_block(max_bytes)));
+                }
+            }
+
+            // Capacity-byte accounting never drifts.
+            prop_assert_eq!(pool.used_bytes(), model.used_bytes());
+            prop_assert!(pool.used_bytes() <= pool.capacity_bytes());
+            prop_assert_eq!(pool.len(), model.txs.len());
+            let mut real_ids = ids(&pool.iter().cloned().collect::<Vec<_>>());
+            let mut model_ids = ids(&model.txs);
+            prop_assert_eq!(sorted_ids(&mut real_ids), sorted_ids(&mut model_ids));
+        }
+    }
+
+    /// Selection is stable under pool mutation elsewhere: removing a
+    /// transaction not in the selection leaves the selection unchanged.
+    #[test]
+    fn block_selection_ignores_unselected_removals(
+        sizes in proptest::collection::vec(50usize..400, 3..20),
+        budget in 200usize..1_500,
+    ) {
+        let mut pool = Mempool::new(1_000_000);
+        for (i, &size) in sizes.iter().enumerate() {
+            pool.insert(Transaction::new(NodeId::new(i), size, (i as u64 + 1) * 13, 0)).unwrap();
+        }
+        let before = pool.select_for_block(budget);
+        let selected: Vec<TxId> = ids(&before);
+        let outside: Vec<TxId> = pool
+            .iter()
+            .map(Transaction::id)
+            .filter(|id| !selected.contains(id))
+            .collect();
+        for id in &outside {
+            pool.remove(id);
+        }
+        prop_assert_eq!(ids(&pool.select_for_block(budget)), selected);
+    }
+}

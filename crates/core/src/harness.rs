@@ -274,6 +274,48 @@ pub fn run_flexible_broadcast_in(
     Ok(FlexReport::from_metrics(metrics, origin_group))
 }
 
+/// Builds one configured [`FlexNode`] per overlay node — the prototypes a
+/// steady-state session spawns per-transaction instances from.
+///
+/// The group formation, pairwise-key derivation and scratch pooling are
+/// identical to [`run_flexible_broadcast_in`] (same `seed ^ 0xD1F7_BEEF`
+/// setup RNG, same arena-pooled [`GroupKeyCache`]), so a steady-state trial
+/// sees exactly the group landscape a single-broadcast trial at the same
+/// seed would.
+///
+/// # Errors
+///
+/// Returns a [`HarnessError`] if the configuration is invalid or groups
+/// cannot be formed (network smaller than `k`).
+pub fn flex_steady_prototypes_in(
+    arena: &mut TrialArena,
+    n: usize,
+    config: FlexConfig,
+    seed: u64,
+) -> Result<Vec<FlexNode>, HarnessError> {
+    config.validate()?;
+    let mut setup_rng = StdRng::seed_from_u64(seed ^ 0xD1F7_BEEF);
+    let all_nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let groups = form_groups(&all_nodes, config.k, &mut setup_rng)?;
+
+    let (mut key_cache, scratch) = take_extras(arena, seed);
+    let mut memberships: Vec<Option<GroupMembership>> = (0..n).map(|_| None).collect();
+    for group in &groups {
+        for (node, membership) in build_memberships(group, &mut key_cache) {
+            memberships[node.index()] = Some(membership);
+        }
+    }
+    arena.store_extension(Box::new(HarnessExtras {
+        key_cache,
+        scratch: Rc::clone(&scratch),
+    }));
+
+    Ok(memberships
+        .into_iter()
+        .map(|membership| FlexNode::with_scratch(config, membership, Rc::clone(&scratch)))
+        .collect())
+}
+
 /// The four dissemination strategies the experiments compare.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ProtocolKind {
@@ -582,6 +624,57 @@ mod tests {
         let fresh = run(&mut TrialArena::new(), 2);
         assert_eq!(reseeded.total_messages(), fresh.total_messages());
         assert_eq!(reseeded.metrics.delivered_at, fresh.metrics.delivered_at);
+    }
+
+    #[test]
+    fn steady_flexible_broadcasts_overlap_and_cover() {
+        use fnp_proto::steady::{run_steady_in, Arrival};
+        let n = 60;
+        let graph = overlay(n, 8);
+        let mut arena = TrialArena::new();
+        let prototypes =
+            flex_steady_prototypes_in(&mut arena, n, FlexConfig::default(), 8).unwrap();
+        // Two transactions injected half a second apart: the second arrives
+        // while the first is still in its DC-net phase, so their rounds
+        // genuinely overlap on the origin's group.
+        let arrivals = [
+            Arrival {
+                at: 1,
+                origin: NodeId::new(10),
+            },
+            Arrival {
+                at: 500_000,
+                origin: NodeId::new(10),
+            },
+            Arrival {
+                at: 700_000,
+                origin: NodeId::new(33),
+            },
+        ];
+        let (metrics, report) = run_steady_in(
+            &mut arena,
+            graph,
+            prototypes,
+            &arrivals,
+            &[NodeId::new(5)],
+            3,
+            SimConfig {
+                seed: 8,
+                ..SimConfig::default()
+            },
+        );
+        for (tx, outcome) in report.per_tx.iter().enumerate() {
+            assert_eq!(
+                outcome.delivered_count, n,
+                "tx {tx} did not reach the whole overlay"
+            );
+            assert!(outcome.first_miner_delivery.is_some(), "tx {tx}");
+            assert!(outcome.completed_at.is_some(), "tx {tx} never drained");
+        }
+        assert!(report.peak_concurrent >= 2, "broadcasts should overlap");
+        // Each transaction pays its own DC-net phase: at least two rounds'
+        // worth of contributions crossed the wire.
+        assert!(metrics.messages_of_kind("flex-dc") > 0);
     }
 
     #[test]

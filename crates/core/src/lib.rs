@@ -64,8 +64,8 @@ pub mod node;
 
 pub use config::{ConfigError, ElectionStrategy, FlexConfig};
 pub use harness::{
-    node_key_pair, run_flexible_broadcast, run_flexible_broadcast_in, run_protocol,
-    run_protocol_in, FlexReport, HarnessError, ProtocolKind,
+    flex_steady_prototypes_in, node_key_pair, run_flexible_broadcast, run_flexible_broadcast_in,
+    run_protocol, run_protocol_in, FlexReport, HarnessError, ProtocolKind,
 };
 pub use keycache::GroupKeyCache;
 pub use message::{FlexMessage, PHASE1_KINDS, PHASE2_KINDS, PHASE3_KINDS};

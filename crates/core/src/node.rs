@@ -29,7 +29,7 @@ use fnp_dcnet::keyed::{combine_contributions_into, KeyedParticipant};
 use fnp_dcnet::slot::SlotOutcome;
 use fnp_dcnet::RoundScratch;
 use fnp_netsim::NodeId;
-use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore};
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SteadyProtocol};
 use rand::Rng;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -49,8 +49,11 @@ const PHASE_FLOODING: u8 = 1;
 ///
 /// The member list and identity table are identical for every member of a
 /// group, so they are reference-counted and shared between the `k`
-/// memberships instead of deep-copied `k` times at setup.
-#[derive(Debug)]
+/// memberships instead of deep-copied `k` times at setup. Cloning shares
+/// the member/identity tables and copies the keyed participant, giving
+/// each in-flight transaction of a steady-state session its own DC-net
+/// engine at the same group position.
+#[derive(Clone, Debug)]
 pub struct GroupMembership {
     /// The group members' overlay node ids, sorted ascending (shared
     /// between all members of the group).
@@ -631,6 +634,29 @@ impl ProtocolCore for FlexNode {
                 _ => {}
             },
         }
+    }
+}
+
+impl SteadyProtocol for FlexNode {
+    /// A per-transaction instance shares the node's group tables and slot
+    /// scratch pool and copies the keyed participant, so each in-flight
+    /// transaction runs its own DC-net rounds at the same group position.
+    fn per_tx_instance(&self) -> Self {
+        FlexNode::with_scratch(self.config, self.group.clone(), Rc::clone(&self.scratch))
+    }
+
+    /// Injects the transaction id as the anonymous payload.
+    fn start_tx(&mut self, tx: u64, view: &mut impl NodeView, out: &mut Mailbox<FlexMessage>) {
+        self.start_broadcast(tx.to_le_bytes().to_vec(), view, out);
+    }
+
+    /// Under steady-state multiplexing, `Init` (which arms the periodic
+    /// DC-net rounds) runs only on instances first contacted by a DC-net
+    /// contribution: exactly the originator's group members, who must pace
+    /// their own rounds for the round to resolve. Instances spawned by
+    /// phase-2/3 traffic skip it — they only relay.
+    fn wants_init(first: &FlexMessage) -> bool {
+        matches!(first, FlexMessage::DcContribution { .. })
     }
 }
 

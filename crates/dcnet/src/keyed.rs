@@ -99,6 +99,11 @@ impl From<slot::PayloadTooLargeError> for KeyedDcError {
 /// derives a pad from the round number alone — there is no per-stream
 /// position to advance, so producing a contribution takes `&self` and the
 /// same participant can serve any round in any order.
+///
+/// Cloning copies the pairwise pad keys: a clone serves the same group
+/// position, which is what the steady-state sessions use to run one DC-net
+/// engine per in-flight transaction.
+#[derive(Clone)]
 pub struct KeyedParticipant {
     index: usize,
     size: usize,

@@ -18,7 +18,7 @@
 //! ([`StemLine::rerandomize`]).
 
 use fnp_netsim::{Graph, Metrics, NodeId, Payload, SimConfig, Simulator, TrialArena};
-use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SimDriver};
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SimDriver, SteadyProtocol};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -249,6 +249,19 @@ impl ProtocolCore for DandelionNode {
     }
 }
 
+impl SteadyProtocol for DandelionNode {
+    /// A fresh per-transaction instance keeps the node's stem successor:
+    /// the stem line is an epoch-level routing decision shared by every
+    /// transaction relayed within the epoch.
+    fn per_tx_instance(&self) -> Self {
+        DandelionNode::new(self.params, self.stem_successor)
+    }
+
+    fn start_tx(&mut self, tx: u64, view: &mut impl NodeView, out: &mut Mailbox<DandelionMessage>) {
+        self.start_broadcast(tx, view, out);
+    }
+}
+
 /// Result of one Dandelion broadcast.
 #[derive(Clone, Debug)]
 pub struct DandelionReport {
@@ -339,6 +352,50 @@ mod tests {
         let graph = topology::random_regular(n, 8, &mut rng).unwrap();
         let line = StemLine::random(n, &mut rng);
         (graph, line)
+    }
+
+    #[test]
+    fn steady_dandelion_broadcasts_overlap_and_cover() {
+        use fnp_proto::steady::{run_steady_in, Arrival};
+        let n = 40;
+        let (graph, line) = setup(n, 9);
+        let prototypes: Vec<DandelionNode> = (0..n)
+            .map(|i| DandelionNode::new(DandelionParams::default(), line.successor(NodeId::new(i))))
+            .collect();
+        let arrivals = [
+            Arrival {
+                at: 1,
+                origin: NodeId::new(2),
+            },
+            Arrival {
+                at: 40,
+                origin: NodeId::new(17),
+            },
+            Arrival {
+                at: 90,
+                origin: NodeId::new(2),
+            },
+        ];
+        let (_, report) = run_steady_in(
+            &mut TrialArena::new(),
+            graph,
+            prototypes,
+            &arrivals,
+            &[NodeId::new(30)],
+            2,
+            SimConfig {
+                seed: 9,
+                ..SimConfig::default()
+            },
+        );
+        for (tx, outcome) in report.per_tx.iter().enumerate() {
+            assert_eq!(outcome.delivered_count, n, "tx {tx} did not cover");
+            assert!(outcome.completed_at.is_some(), "tx {tx} never drained");
+        }
+        assert!(
+            report.peak_concurrent >= 2,
+            "stems should overlap in flight"
+        );
     }
 
     #[test]

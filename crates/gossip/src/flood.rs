@@ -10,7 +10,7 @@
 //! Fig. 2 and experiment E2).
 
 use fnp_netsim::{Graph, Metrics, NodeId, Payload, SimConfig, Simulator, TrialArena};
-use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SimDriver};
+use fnp_proto::{Input, Mailbox, NodeView, ProtocolCore, SimDriver, SteadyProtocol};
 
 /// Wire size reported for a flooded transaction.
 const TX_BYTES: usize = 256;
@@ -93,6 +93,16 @@ impl ProtocolCore for FloodNode {
         }
         out.deliver();
         out.broadcast(message, &[from]);
+    }
+}
+
+impl SteadyProtocol for FloodNode {
+    fn per_tx_instance(&self) -> Self {
+        FloodNode::new()
+    }
+
+    fn start_tx(&mut self, tx: u64, view: &mut impl NodeView, out: &mut Mailbox<FloodMessage>) {
+        self.start_broadcast(tx, view, out);
     }
 }
 

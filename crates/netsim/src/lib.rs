@@ -27,6 +27,10 @@
 //!   structs so the event loop's duplicate checks stay in cache.
 //! * [`arena`] — per-worker [`TrialArena`]s that recycle graph, queue,
 //!   metrics and node-storage allocations between trials.
+//! * [`arrival`] / [`lanes`] — steady-state building blocks: Poisson
+//!   arrival schedules precomputed from the trial seed, and a pool of
+//!   per-transaction hot-lane sets so overlapping broadcasts never share
+//!   duplicate-suppression state.
 //!
 //! The simulator is single-threaded and deterministic under a fixed
 //! [`SimConfig::seed`]; experiment harnesses parallelise across *runs*, not
@@ -82,10 +86,12 @@
 #![warn(clippy::cast_sign_loss)]
 
 pub mod arena;
+pub mod arrival;
 pub mod bits;
 pub mod churn;
 pub mod graph;
 pub mod hot;
+pub mod lanes;
 pub mod latency;
 pub mod message;
 pub mod metrics;
@@ -98,10 +104,12 @@ pub mod topology;
 mod wheel;
 
 pub use arena::TrialArena;
+pub use arrival::{poisson_arrivals, validate_rate, ArrivalRateError};
 pub use bits::BitSet;
 pub use churn::{ChurnSchedule, NodeOutage};
 pub use graph::{DiameterEstimator, Graph, GraphBuilder, EXACT_DIAMETER_MAX_NODES};
 pub use hot::HotState;
+pub use lanes::LanePool;
 pub use latency::{InvalidLatencyModel, LatencyModel, EXPONENTIAL_JITTER_CAP};
 pub use message::{Payload, TestPayload};
 pub use metrics::{KindId, KindRegistry, Metrics, TraceEntry};

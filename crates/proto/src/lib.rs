@@ -21,6 +21,9 @@
 //!   in-simulator implementations.
 //! * [`StandaloneEnv`] — a single-node view for real-transport drivers
 //!   (the `fnp-node` binary's line-delimited JSON event loop).
+//! * [`steady`] — heavy-traffic multiplexing: wrap any single-broadcast
+//!   core in a [`SteadyNode`] and many Poisson-injected transactions share
+//!   one overlay, each with its own hot lanes and protocol instance.
 //! * [`TraceHandle`] / [`replay_trace`] — record a simulator run, replay
 //!   the inputs through bare cores, and assert the emitted effects match:
 //!   the gate that keeps cores and simulator from drifting apart.
@@ -36,6 +39,7 @@ mod core;
 mod driver;
 mod mailbox;
 mod standalone;
+pub mod steady;
 mod trace;
 mod view;
 
@@ -43,5 +47,8 @@ pub use crate::core::ProtocolCore;
 pub use driver::SimDriver;
 pub use mailbox::{Effect, Input, Mailbox};
 pub use standalone::StandaloneEnv;
+pub use steady::{
+    Arrival, SteadyNode, SteadyProtocol, SteadyReport, SteadySession, Tagged, TxOutcome,
+};
 pub use trace::{replay_trace, ReplayMismatch, ReplayView, TraceEvent, TraceHandle, TracedInput};
 pub use view::{HotLanes, NodeView};
